@@ -1,0 +1,73 @@
+package conquer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedCountAndSumPublic(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.CleanAnswers(
+		"select o.id, c.id, o.quantity from orders o, customer c where o.cidfk = c.id and c.balance > 10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Answers: (o1,c1,3) p=1; (o2,c1,2) p=.5; (o2,c2,5) p=.1.
+	if got := res.ExpectedCount(); !approx(got, 1.6) {
+		t.Errorf("E[COUNT] = %v, want 1.6", got)
+	}
+	got, err := res.ExpectedSum("quantity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(got, 3+1+0.5) {
+		t.Errorf("E[SUM] = %v, want 4.5", got)
+	}
+	if _, err := res.ExpectedSum("ghost"); err == nil {
+		t.Error("unknown column should fail")
+	}
+	if _, err := res.ExpectedSum("id"); err == nil {
+		t.Error("non-numeric column should fail")
+	}
+}
+
+func TestEstimateAggregatePublic(t *testing.T) {
+	db := paperDB(t)
+	q := "select id, balance from customer where balance > 10000"
+	est, err := db.EstimateAggregate(q, "count", "", 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-1.2) > 0.05 {
+		t.Errorf("MC E[COUNT] = %v, want ~1.2", est.Mean)
+	}
+	// MIN is non-linear: the closed form does not apply, but the estimate
+	// must land in the derived 22820 expectation (see core tests).
+	est, err = db.EstimateAggregate(q, "min", "balance", 30000, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Mean-22820) > 200 {
+		t.Errorf("MC E[MIN] = %v, want ~22820", est.Mean)
+	}
+	// Column resolution honors aliases.
+	est, err = db.EstimateAggregate(
+		"select id, balance * 2 as dbl from customer where balance > 10000",
+		"max", "dbl", 2000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean < 40000 || est.Mean > 60000 {
+		t.Errorf("aliased MAX = %v", est.Mean)
+	}
+	// Errors.
+	if _, err := db.EstimateAggregate(q, "median", "balance", 10, 1); err == nil {
+		t.Error("unknown aggregate kind should fail")
+	}
+	if _, err := db.EstimateAggregate(q, "sum", "ghost", 10, 1); err == nil {
+		t.Error("unselected column should fail")
+	}
+	if _, err := db.EstimateAggregate("not sql", "count", "", 10, 1); err == nil {
+		t.Error("bad SQL should fail")
+	}
+}

@@ -1,0 +1,26 @@
+package conquer
+
+import (
+	"conquer/internal/core"
+	"conquer/internal/dirty"
+	"conquer/internal/plan"
+	"conquer/internal/sqlparse"
+)
+
+// Thin adapters keeping bench_test.go readable.
+
+func planOptionsIndexJoin() plan.Options {
+	return plan.Options{PreferIndexJoin: true}
+}
+
+func coreViaRewriting(d *dirty.DB, q *sqlparse.SelectStmt) (*core.Result, error) {
+	return core.ViaRewriting(d, q)
+}
+
+func coreExact(d *dirty.DB, q *sqlparse.SelectStmt) (*core.Result, error) {
+	return core.Exact(d, q, 0)
+}
+
+func coreMonteCarlo(d *dirty.DB, q *sqlparse.SelectStmt, n int) (*core.Result, error) {
+	return core.MonteCarlo(d, q, n, 1)
+}

@@ -1,0 +1,183 @@
+// Command conquer is an interactive shell for querying dirty databases
+// with clean-answer semantics.
+//
+// Usage:
+//
+//	conquer [flags]
+//
+// Flags:
+//
+//	-dir     directory of TPC-H CSV files produced by datagen; when unset
+//	         the Figure-2 example database of the paper is loaded
+//	-c       execute one statement and exit
+//
+// Inside the shell:
+//
+//	select ...            run SQL directly on the dirty data
+//	clean select ...      compute clean answers via RewriteClean
+//	\rewrite select ...   print the rewritten SQL without running it
+//	\explain select ...   print the physical plan
+//	\tables               list relations
+//	\stats                duplication statistics, candidate count, uncertainty
+//	\q                    quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"conquer/internal/core"
+	"conquer/internal/dirty"
+	"conquer/internal/engine"
+	"conquer/internal/rewrite"
+	"conquer/internal/sqlparse"
+	"conquer/internal/storage"
+	"conquer/internal/testdb"
+	"conquer/internal/tpch"
+	"conquer/internal/uisgen"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory of TPC-H CSVs from datagen (default: the paper's Figure-2 example)")
+	oneShot := flag.String("c", "", "execute one statement and exit")
+	flag.Parse()
+
+	d, err := openDatabase(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "conquer:", err)
+		os.Exit(1)
+	}
+	sh := &shell{d: d, eng: engine.New(d.Store), out: os.Stdout}
+
+	if *oneShot != "" {
+		if err := sh.execute(*oneShot); err != nil {
+			fmt.Fprintln(os.Stderr, "conquer:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("ConQuer-Go — clean answers over dirty databases (ICDE 2006 reproduction)")
+	fmt.Println(`Type SQL, "clean SELECT ...", \tables, \rewrite, \explain, or \q.`)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("conquer> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == `\q` || line == "quit" || line == "exit" {
+			return
+		}
+		if err := sh.execute(line); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func openDatabase(dir string) (*dirty.DB, error) {
+	if dir == "" {
+		return testdb.Figure2(), nil
+	}
+	store := storage.NewDB()
+	cat := tpch.Catalog()
+	for _, name := range tpch.Tables {
+		rel, _ := cat.Relation(name)
+		tb, err := store.CreateTable(rel)
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, name+".csv")
+		if err := tb.LoadCSVFile(path); err != nil {
+			return nil, fmt.Errorf("loading %s: %w", path, err)
+		}
+	}
+	return dirty.New(store), nil
+}
+
+type shell struct {
+	d   *dirty.DB
+	eng *engine.Engine
+	out io.Writer
+}
+
+func (sh *shell) execute(line string) error {
+	switch {
+	case line == `\tables`:
+		for _, name := range sh.d.Store.TableNames() {
+			tb, _ := sh.d.Store.Table(name)
+			fmt.Fprintf(sh.out, "%-10s %8d rows  %s\n", name, tb.Len(), tb.Schema)
+		}
+		return nil
+	case line == `\stats`:
+		stats, err := uisgen.Stats(sh.d)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sh.out, uisgen.FormatStats(stats))
+		count, err := sh.d.CandidateCount()
+		if err != nil {
+			return err
+		}
+		bits, err := sh.d.UncertaintyBits()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "candidate databases: %s (%.1f bits of uncertainty)\n", count, bits)
+		return nil
+	case strings.HasPrefix(line, `\rewrite `):
+		stmt, err := sqlparse.Parse(strings.TrimPrefix(line, `\rewrite `))
+		if err != nil {
+			return err
+		}
+		rw, err := rewrite.RewriteClean(sh.d.Store.Catalog, stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, rw.SQL())
+		return nil
+	case strings.HasPrefix(line, `\explain `):
+		plan, err := sh.eng.Explain(strings.TrimPrefix(line, `\explain `))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sh.out, plan)
+		return nil
+	case strings.HasPrefix(strings.ToLower(line), "clean "):
+		stmt, err := sqlparse.Parse(strings.TrimSpace(line[len("clean "):]))
+		if err != nil {
+			return err
+		}
+		res, err := core.ViaRewriting(sh.d, stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sh.out, strings.Join(res.Columns, "  ")+"  prob\n")
+		for _, a := range res.Answers {
+			for _, v := range a.Values {
+				fmt.Fprintf(sh.out, "%v  ", v)
+			}
+			fmt.Fprintf(sh.out, "%.4f\n", a.Prob)
+		}
+		fmt.Fprintf(sh.out, "(%d clean answers)\n", len(res.Answers))
+		return nil
+	default:
+		res, err := sh.eng.Query(line)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sh.out, res.String())
+		fmt.Fprintf(sh.out, "(%d rows)\n", len(res.Rows))
+		return nil
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"conquer/internal/engine"
+	"conquer/internal/uisgen"
+)
+
+func newTestShell(t *testing.T) (*shell, *strings.Builder) {
+	t.Helper()
+	d, err := openDatabase("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	return &shell{d: d, eng: engine.New(d.Store), out: &out}, &out
+}
+
+func TestShellTables(t *testing.T) {
+	sh, out := newTestShell(t)
+	if err := sh.execute(`\tables`); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"customer", "orders", "4 rows", "3 rows"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("\\tables missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestShellPlainQuery(t *testing.T) {
+	sh, out := newTestShell(t)
+	if err := sh.execute("select id, balance from customer order by balance desc"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(4 rows)") {
+		t.Errorf("query output:\n%s", out.String())
+	}
+}
+
+func TestShellCleanQuery(t *testing.T) {
+	sh, out := newTestShell(t)
+	if err := sh.execute("clean select id from customer where balance > 10000"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "prob") || !strings.Contains(s, "(2 clean answers)") {
+		t.Errorf("clean output:\n%s", s)
+	}
+	if !strings.Contains(s, "1.0000") || !strings.Contains(s, "0.2000") {
+		t.Errorf("clean probabilities:\n%s", s)
+	}
+}
+
+func TestShellRewriteAndExplain(t *testing.T) {
+	sh, out := newTestShell(t)
+	if err := sh.execute(`\rewrite select id from customer where balance > 10000`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "SUM(customer.prob)") {
+		t.Errorf("\\rewrite output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := sh.execute(`\explain select id from customer`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Scan(customer") {
+		t.Errorf("\\explain output:\n%s", out.String())
+	}
+}
+
+func TestShellErrors(t *testing.T) {
+	sh, _ := newTestShell(t)
+	for _, line := range []string{
+		"select nothing from nowhere",
+		"clean select c.id from orders o, customer c where o.cidfk = c.id", // Example 7
+		`\rewrite not sql`,
+		`\explain not sql`,
+		"garbage input",
+	} {
+		if err := sh.execute(line); err == nil {
+			t.Errorf("execute(%q) should fail", line)
+		}
+	}
+}
+
+func TestOpenDatabaseFromDir(t *testing.T) {
+	dir := t.TempDir()
+	d, err := uisgen.Generate(uisgen.Config{
+		SF: 0.01, IF: 2, Scale: 0.01, Seed: 3, Propagated: true, UniformProbs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range d.Store.TableNames() {
+		tb, _ := d.Store.Table(name)
+		if err := tb.SaveCSVFile(filepath.Join(dir, name+".csv")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, err := openDatabase(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Store.TotalRows() != d.Store.TotalRows() {
+		t.Errorf("loaded %d rows, generated %d", loaded.Store.TotalRows(), d.Store.TotalRows())
+	}
+	// The loaded database answers clean queries.
+	sh := &shell{d: loaded, eng: engine.New(loaded.Store), out: &strings.Builder{}}
+	if err := sh.execute("clean select n_nationkey from nation where n_name = 'CANADA'"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenDatabaseMissingDir(t *testing.T) {
+	if _, err := openDatabase(filepath.Join(os.TempDir(), "conquer-does-not-exist")); err == nil {
+		t.Error("missing directory should fail")
+	}
+}
+
+func TestShellStats(t *testing.T) {
+	sh, out := newTestShell(t)
+	if err := sh.execute(`\stats`); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"customer", "candidate databases: 8", "bits of uncertainty"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("\\stats missing %q:\n%s", want, s)
+		}
+	}
+}

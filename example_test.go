@@ -1,0 +1,83 @@
+package conquer_test
+
+import (
+	"fmt"
+
+	"conquer"
+)
+
+// figure2 builds the paper's Figure-2 database through the public API.
+func figure2() *conquer.Database {
+	db := conquer.New()
+	db.MustCreateTable("customer",
+		conquer.Columns("custid STRING", "name STRING", "balance FLOAT"),
+		conquer.WithDirty("id", "prob"))
+	db.MustInsert("customer", "m1", "John", 20000.0, "c1", 0.7)
+	db.MustInsert("customer", "m2", "John", 30000.0, "c1", 0.3)
+	db.MustInsert("customer", "m3", "Mary", 27000.0, "c2", 0.2)
+	db.MustInsert("customer", "m4", "Marion", 5000.0, "c2", 0.8)
+	db.MustCreateTable("orders",
+		conquer.Columns("orderid STRING", "cidfk STRING", "quantity INT"),
+		conquer.WithDirty("id", "prob"))
+	db.MustInsert("orders", "11", "c1", 3, "o1", 1.0)
+	db.MustInsert("orders", "12", "c1", 2, "o2", 0.5)
+	db.MustInsert("orders", "13", "c2", 5, "o2", 0.5)
+	return db
+}
+
+// The paper's Example 4: querying a dirty relation returns each answer
+// with its probability of holding on the clean database.
+func ExampleDatabase_CleanAnswers() {
+	db := figure2()
+	res, err := db.CleanAnswers("select id from customer where balance > 10000")
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range res.Answers {
+		fmt.Printf("%v p=%.1f\n", a.Values[0], a.Prob)
+	}
+	// Output:
+	// c1 p=1.0
+	// c2 p=0.2
+}
+
+// RewriteClean turns a query over dirty data into ordinary SQL.
+func ExampleDatabase_RewriteSQL() {
+	db := figure2()
+	sql, err := db.RewriteSQL("select id from customer where balance > 10000")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sql)
+	// Output:
+	// SELECT id, SUM(customer.prob) AS prob FROM customer WHERE balance > 10000 GROUP BY id
+}
+
+// Queries outside the rewritable class are rejected with the violated
+// condition of Dfn 7.
+func ExampleDatabase_IsRewritable() {
+	db := figure2()
+	ok, reasons, err := db.IsRewritable(
+		"select c.id from orders o, customer c where o.cidfk = c.id")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ok)
+	fmt.Println(reasons[0])
+	// Output:
+	// false
+	// the identifier of root relation o is not in the select clause (condition 4 of Dfn 7)
+}
+
+// Expected aggregates answer "how many, in expectation?" over the clean
+// database without enumerating candidates.
+func ExampleCleanResult_ExpectedCount() {
+	db := figure2()
+	res, err := db.CleanAnswers("select id from customer where balance > 10000")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f\n", res.ExpectedCount())
+	// Output:
+	// 1.2
+}

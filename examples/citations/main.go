@@ -1,0 +1,63 @@
+// Citations: the paper's qualitative evaluation (§4.2, Table 4) as a
+// runnable program.
+//
+// A citation database contains a cluster of 56 records of the same
+// publication (modeled on the Cora data set's Schapire cluster), mixing a
+// canonical representation, formatting variants, an alternate-styling
+// outlier and a wrong-cluster intruder. The §4 probability computation
+// ranks them: tuples sharing the most frequent values rise to the top,
+// the outlier and the intruder sink to the bottom.
+//
+// Run with:
+//
+//	go run ./examples/citations
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"conquer/internal/bench"
+	"conquer/internal/cora"
+	"conquer/internal/probcalc"
+)
+
+func main() {
+	// The pre-rendered Table 4 artifact...
+	table, err := bench.Table4(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table)
+
+	// ...and the full ranking with both distance measures, showing the
+	// modularity the paper claims: any tuple distance plugs into the
+	// Figure-5 procedure.
+	ds, ids, outlierRow, intruderRow := cora.SchapireCluster(1)
+
+	infoLoss, err := probcalc.AssignProbabilities(ds, ids, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	editDist, err := probcalc.AssignProbabilitiesEdit(ds, ids, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nBottom of the ranking under both distance measures:")
+	fmt.Printf("%-28s  %-16s  %-16s\n", "tuple", "information loss", "edit distance")
+	for _, row := range []int{outlierRow, intruderRow} {
+		label := strings.Join(ds.Tuple(row)[:2], " / ")
+		if len(label) > 28 {
+			label = label[:25] + "..."
+		}
+		fmt.Printf("%-28s  %-16.5f  %-16.5f\n", label, infoLoss[row].Prob, editDist[row].Prob)
+	}
+
+	top := probcalc.RankCluster(infoLoss, "schapire")[0]
+	fmt.Printf("\nMost likely tuple (p=%.5f): %s\n", top.Prob,
+		strings.Join(ds.Tuple(top.Row), " | "))
+	fmt.Println("It shares every value with the cluster's most frequent values,")
+	fmt.Println("re-confirming the paper's Table 4 observation.")
+}

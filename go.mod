@@ -1,0 +1,3 @@
+module conquer
+
+go 1.22

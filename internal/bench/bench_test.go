@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny settings so the harness tests stay fast; shape checks live here,
+// timing happens in the top-level benchmarks.
+const (
+	tinyScale = 0.0003
+	tinySeed  = 5
+)
+
+func TestFig7Harness(t *testing.T) {
+	rows, err := Fig7(1, tinyScale, []int{1, 5}, tinySeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.LineitemRows == 0 || r.Propagation <= 0 || r.ProbCalc <= 0 || r.LinearScan <= 0 {
+			t.Errorf("degenerate row: %+v", r)
+		}
+	}
+	// sf fixes the tuple budget: row counts stay roughly flat across if
+	// (the paper's flat linear-scan baseline).
+	ratio := float64(rows[1].LineitemRows) / float64(rows[0].LineitemRows)
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Errorf("lineitem rows should stay roughly flat in if: %d vs %d",
+			rows[0].LineitemRows, rows[1].LineitemRows)
+	}
+	out := FormatFig7(rows)
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "prob-calc") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestFig8Harness(t *testing.T) {
+	d, err := GenerateWorkload(1, 3, tinyScale, tinySeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Fig8(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r.Original <= 0 || r.Rewritten <= 0 {
+			t.Errorf("Q%d: zero timing", r.Query)
+		}
+		if r.CleanRows > r.OrigRows {
+			t.Errorf("Q%d: more clean answers (%d) than original rows (%d)",
+				r.Query, r.CleanRows, r.OrigRows)
+		}
+	}
+	out := FormatFig8(rows)
+	if !strings.Contains(out, "Q9") || !strings.Contains(out, "ratio") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestFig9Harness(t *testing.T) {
+	rows, err := Fig9(1, tinyScale, []int{1, 3}, tinySeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for _, d := range []time.Duration{r.Original, r.Rewritten, r.OriginalNoSort, r.RewrittenNoSort} {
+			if d <= 0 {
+				t.Errorf("if=%d: zero timing %+v", r.IF, r)
+			}
+		}
+	}
+	out := FormatFig9(rows)
+	if !strings.Contains(out, "orig-no-orderby") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestFig10Harness(t *testing.T) {
+	sfs := []float64{0.5, 1}
+	rows, err := Fig10(sfs, tinyScale, 3, tinySeed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig10Queries) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Times) != len(sfs) {
+			t.Errorf("Q%d has %d points", r.Query, len(r.Times))
+		}
+		if r.Query == 9 {
+			t.Error("Q9 must be excluded from Figure 10, as in the paper")
+		}
+	}
+	out := FormatFig10(sfs, rows)
+	if !strings.Contains(out, "sf=0.5") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestTables(t *testing.T) {
+	t1, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t1, "0.25") || !strings.Contains(t1, "Mary") {
+		t.Errorf("Table 1:\n%s", t1)
+	}
+	t2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t2, "rep1") || !strings.Contains(t2, "0.250") {
+		t.Errorf("Table 2:\n%s", t2)
+	}
+	t3, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §4 narrative constraints: t4/t5 at 0.5, t6 at 1.
+	if !strings.Contains(t3, "0.5000") || !strings.Contains(t3, "1.0000") {
+		t.Errorf("Table 3:\n%s", t3)
+	}
+	t4, err := Table4(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Most frequent values", "Top-2", "Bottom-2",
+		"robert e. schapire", "machine learning"} {
+		if !strings.Contains(t4, want) {
+			t.Errorf("Table 4 missing %q:\n%s", want, t4)
+		}
+	}
+}
+
+func TestPreparePairs(t *testing.T) {
+	pairs, err := PreparePairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 13 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	for _, p := range pairs {
+		if len(p.Rewritten.GroupBy) == 0 {
+			t.Errorf("Q%d rewriting lacks GROUP BY", p.Number)
+		}
+	}
+}
+
+func TestTimeBest(t *testing.T) {
+	n := 0
+	d, err := timeBest(3, func() error { n++; return nil })
+	if err != nil || n != 3 || d < 0 {
+		t.Errorf("timeBest: %v %v %d", d, err, n)
+	}
+	if _, err := timeBest(0, func() error { return nil }); err != nil {
+		t.Error("reps<1 should clamp to 1")
+	}
+}
+
+func TestVerifyHarness(t *testing.T) {
+	results, err := Verify(1, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if !r.OK {
+			t.Errorf("verification failed for %q: max diff %v", r.Query, r.MaxDiff)
+		}
+	}
+	out := FormatVerify(results)
+	if !strings.Contains(out, "all queries agree") {
+		t.Errorf("FormatVerify:\n%s", out)
+	}
+	// A failing result renders as FAIL.
+	bad := []VerifyResult{{Query: "q", Answers: 1, MaxDiff: 0.5, OK: false}}
+	if !strings.Contains(FormatVerify(bad), "FAIL") {
+		t.Error("FAIL marker missing")
+	}
+}

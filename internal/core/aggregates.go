@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"conquer/internal/dirty"
+	"conquer/internal/engine"
+	"conquer/internal/sqlparse"
+	"conquer/internal/value"
+)
+
+// The paper leaves queries with grouping and aggregation as future work
+// (§6). This file provides the natural first step: *expected* aggregates
+// over the clean-answer distribution. For a query q with clean answers
+// {(t, p_t)}, the number of answers produced by the clean database is a
+// random variable; by linearity of expectation,
+//
+//	E[COUNT]      = Σ_t p_t
+//	E[SUM(col)]   = Σ_t p_t · t.col
+//
+// are exact regardless of the correlations between answers, so both can
+// be computed directly from any clean-answer Result — no extra candidate
+// enumeration. Non-linear aggregates (AVG, MIN, MAX) do not decompose
+// this way; EstimateAggregate computes them by Monte-Carlo sampling.
+
+// ExpectedCount returns the expected number of clean answers.
+func ExpectedCount(r *Result) float64 {
+	total := 0.0
+	for _, a := range r.Answers {
+		total += a.Prob
+	}
+	return total
+}
+
+// ExpectedSum returns the expected sum of column col over the clean
+// answers. NULL values contribute nothing, as in SQL aggregation.
+func ExpectedSum(r *Result, col int) (float64, error) {
+	if col < 0 || col >= len(r.Columns) {
+		return 0, fmt.Errorf("core: column %d out of range (result has %d)", col, len(r.Columns))
+	}
+	total := 0.0
+	for _, a := range r.Answers {
+		v := a.Values[col]
+		if v.IsNull() {
+			continue
+		}
+		if !v.IsNumeric() {
+			return 0, fmt.Errorf("core: ExpectedSum over non-numeric column %q", r.Columns[col])
+		}
+		total += a.Prob * v.AsFloat()
+	}
+	return total, nil
+}
+
+// GroupExpectation is one group's expected aggregates.
+type GroupExpectation struct {
+	Group  []value.Value
+	ECount float64
+	ESum   float64 // zero when no sum column was requested
+}
+
+// ExpectedGroupBy partitions the clean answers by the given result
+// columns and returns each group's expected count and (when sumCol >= 0)
+// expected sum. Groups are sorted by key.
+func ExpectedGroupBy(r *Result, groupCols []int, sumCol int) ([]GroupExpectation, error) {
+	for _, c := range groupCols {
+		if c < 0 || c >= len(r.Columns) {
+			return nil, fmt.Errorf("core: group column %d out of range", c)
+		}
+	}
+	if sumCol >= len(r.Columns) {
+		return nil, fmt.Errorf("core: sum column %d out of range", sumCol)
+	}
+	type slot struct {
+		key    []value.Value
+		ecount float64
+		esum   float64
+	}
+	byHash := map[uint64][]*slot{}
+	var order []*slot
+	for _, a := range r.Answers {
+		key := make([]value.Value, len(groupCols))
+		for i, c := range groupCols {
+			key[i] = a.Values[c]
+		}
+		h := value.HashRow(key)
+		var s *slot
+		for _, cand := range byHash[h] {
+			if value.RowsIdentical(cand.key, key) {
+				s = cand
+				break
+			}
+		}
+		if s == nil {
+			s = &slot{key: key}
+			byHash[h] = append(byHash[h], s)
+			order = append(order, s)
+		}
+		s.ecount += a.Prob
+		if sumCol >= 0 {
+			v := a.Values[sumCol]
+			if !v.IsNull() {
+				if !v.IsNumeric() {
+					return nil, fmt.Errorf("core: ExpectedGroupBy sum over non-numeric column %q", r.Columns[sumCol])
+				}
+				s.esum += a.Prob * v.AsFloat()
+			}
+		}
+	}
+	out := make([]GroupExpectation, len(order))
+	for i, s := range order {
+		out[i] = GroupExpectation{Group: s.key, ECount: s.ecount, ESum: s.esum}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return value.CompareRows(out[i].Group, out[j].Group) < 0
+	})
+	return out, nil
+}
+
+// AggregateKind selects the aggregate EstimateAggregate computes.
+type AggregateKind uint8
+
+// Supported Monte-Carlo aggregates.
+const (
+	AggregateCount AggregateKind = iota
+	AggregateSum
+	AggregateAvg
+	AggregateMin
+	AggregateMax
+)
+
+// AggregateEstimate is a Monte-Carlo estimate of an aggregate over the
+// query's answers on the clean database.
+type AggregateEstimate struct {
+	Mean float64
+	// StdDev is the sample standard deviation of the per-candidate
+	// aggregate — the spread of the aggregate across possible clean
+	// databases, not the standard error of Mean.
+	StdDev float64
+	// Samples counts candidate databases with at least one answer (MIN,
+	// MAX and AVG are undefined on empty answer sets and skip those
+	// samples; COUNT and SUM treat them as zero).
+	Samples int
+}
+
+// EstimateAggregate estimates E[agg(col over q's answers)] by sampling n
+// candidate databases. col is ignored for AggregateCount (pass -1). This
+// covers the non-linear aggregates the closed-form expectations above
+// cannot, at Monte-Carlo accuracy.
+func EstimateAggregate(d *dirty.DB, stmt *sqlparse.SelectStmt, kind AggregateKind, col int, n int, seed int64) (AggregateEstimate, error) {
+	if n <= 0 {
+		return AggregateEstimate{}, fmt.Errorf("core: EstimateAggregate needs a positive sample count")
+	}
+	samples, err := sampleAggregates(d, stmt, kind, col, n, seed)
+	if err != nil {
+		return AggregateEstimate{}, err
+	}
+	if len(samples) == 0 {
+		return AggregateEstimate{}, nil
+	}
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	variance := 0.0
+	for _, s := range samples {
+		dlt := s - mean
+		variance += dlt * dlt
+	}
+	if len(samples) > 1 {
+		variance /= float64(len(samples) - 1)
+	}
+	return AggregateEstimate{Mean: mean, StdDev: math.Sqrt(variance), Samples: len(samples)}, nil
+}
+
+// sampleAggregates draws n candidate databases and computes the aggregate
+// on each one's (set-semantics) answers.
+func sampleAggregates(d *dirty.DB, stmt *sqlparse.SelectStmt, kind AggregateKind, col int, n int, seed int64) ([]float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var out []float64
+	for i := 0; i < n; i++ {
+		c, err := d.Sample(rng)
+		if err != nil {
+			return nil, err
+		}
+		world, err := d.Materialize(c)
+		if err != nil {
+			return nil, err
+		}
+		res, err := engine.New(world).QueryStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+		rows := distinctRows(res.Rows)
+		if kind == AggregateCount {
+			out = append(out, float64(len(rows)))
+			continue
+		}
+		if col < 0 || col >= len(res.Columns) {
+			return nil, fmt.Errorf("core: aggregate column %d out of range", col)
+		}
+		var vals []float64
+		for _, row := range rows {
+			v := row[col]
+			if v.IsNull() {
+				continue
+			}
+			if !v.IsNumeric() {
+				return nil, fmt.Errorf("core: aggregate over non-numeric column %q", res.Columns[col])
+			}
+			vals = append(vals, v.AsFloat())
+		}
+		switch kind {
+		case AggregateSum:
+			s := 0.0
+			for _, v := range vals {
+				s += v
+			}
+			out = append(out, s)
+		case AggregateAvg, AggregateMin, AggregateMax:
+			if len(vals) == 0 {
+				continue // undefined on an empty answer set; skip the sample
+			}
+			agg := vals[0]
+			switch kind {
+			case AggregateAvg:
+				s := 0.0
+				for _, v := range vals {
+					s += v
+				}
+				agg = s / float64(len(vals))
+			case AggregateMin:
+				for _, v := range vals[1:] {
+					if v < agg {
+						agg = v
+					}
+				}
+			case AggregateMax:
+				for _, v := range vals[1:] {
+					if v > agg {
+						agg = v
+					}
+				}
+			}
+			out = append(out, agg)
+		default:
+			return nil, fmt.Errorf("core: unknown aggregate kind %d", kind)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+// Package core implements the paper's clean-answer semantics (§2.2,
+// Dfn 5): a tuple t is a clean answer to query q over dirty database D
+// with probability equal to the total probability of the candidate
+// databases on which q yields t.
+//
+// Three evaluators are provided:
+//
+//   - Exact: enumerates every candidate database (Dfn 3), runs the query
+//     on each, and sums probabilities. Exponential — usable only on small
+//     databases, it serves as ground truth for the other two.
+//   - ViaRewriting: applies RewriteClean (§3) and executes the rewritten
+//     query once on the dirty database. Exact for rewritable queries
+//     (Thm 1) and the paper's actual proposal.
+//   - MonteCarlo: samples candidate databases independently and estimates
+//     each answer's probability as its sample frequency. A baseline, and
+//     the escape hatch for queries outside the rewritable class.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"conquer/internal/dirty"
+	"conquer/internal/engine"
+	"conquer/internal/rewrite"
+	"conquer/internal/sqlparse"
+	"conquer/internal/value"
+)
+
+// Answer is one clean answer: an output tuple and its probability of being
+// an answer on the clean database.
+type Answer struct {
+	Values []value.Value
+	Prob   float64
+}
+
+// Result is a set of clean answers. Answers are kept sorted by row value
+// so results from different evaluators compare deterministically.
+type Result struct {
+	Columns []string
+	Answers []Answer
+}
+
+// Find returns the probability of the answer tuple equal to vals, or 0.
+func (r *Result) Find(vals ...value.Value) float64 {
+	for _, a := range r.Answers {
+		if value.RowsIdentical(a.Values, vals) {
+			return a.Prob
+		}
+	}
+	return 0
+}
+
+// Len returns the number of answers.
+func (r *Result) Len() int { return len(r.Answers) }
+
+func (r *Result) sortAnswers() {
+	sort.Slice(r.Answers, func(i, j int) bool {
+		return value.CompareRows(r.Answers[i].Values, r.Answers[j].Values) < 0
+	})
+}
+
+// Equal reports whether two results contain the same answers with
+// probabilities within tol of each other.
+func (r *Result) Equal(other *Result, tol float64) bool {
+	if len(r.Answers) != len(other.Answers) {
+		return false
+	}
+	for i := range r.Answers {
+		if !value.RowsIdentical(r.Answers[i].Values, other.Answers[i].Values) {
+			return false
+		}
+		if math.Abs(r.Answers[i].Prob-other.Answers[i].Prob) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// answerAccumulator sums probabilities per distinct answer tuple.
+type answerAccumulator struct {
+	byHash map[uint64][]int
+	rows   [][]value.Value
+	probs  []float64
+}
+
+func newAccumulator() *answerAccumulator {
+	return &answerAccumulator{byHash: make(map[uint64][]int)}
+}
+
+func (acc *answerAccumulator) add(row []value.Value, p float64) {
+	h := value.HashRow(row)
+	for _, i := range acc.byHash[h] {
+		if value.RowsIdentical(acc.rows[i], row) {
+			acc.probs[i] += p
+			return
+		}
+	}
+	acc.byHash[h] = append(acc.byHash[h], len(acc.rows))
+	acc.rows = append(acc.rows, row)
+	acc.probs = append(acc.probs, p)
+}
+
+func (acc *answerAccumulator) result(cols []string) *Result {
+	res := &Result{Columns: cols}
+	for i, row := range acc.rows {
+		res.Answers = append(res.Answers, Answer{Values: row, Prob: acc.probs[i]})
+	}
+	res.sortAnswers()
+	return res
+}
+
+// distinctRows deduplicates a query result into set semantics (a candidate
+// database contributes an answer once, however many derivations it has).
+func distinctRows(rows [][]value.Value) [][]value.Value {
+	seen := make(map[uint64][][]value.Value)
+	var out [][]value.Value
+	for _, row := range rows {
+		h := value.HashRow(row)
+		dup := false
+		for _, prev := range seen[h] {
+			if value.RowsIdentical(prev, row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[h] = append(seen[h], row)
+		out = append(out, row)
+	}
+	return out
+}
+
+// Exact computes clean answers by full candidate enumeration (Dfn 5
+// verbatim). limit caps the number of candidates (0 for the package
+// default); databases beyond it need ViaRewriting or MonteCarlo.
+func Exact(d *dirty.DB, stmt *sqlparse.SelectStmt, limit int64) (*Result, error) {
+	acc := newAccumulator()
+	var cols []string
+	var evalErr error
+	err := d.EnumerateCandidates(limit, func(c *dirty.Candidate) bool {
+		world, err := d.Materialize(c)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		res, err := engine.New(world).QueryStmt(stmt)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		cols = res.Columns
+		for _, row := range distinctRows(res.Rows) {
+			acc.add(row, c.Prob)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return acc.result(cols), nil
+}
+
+// MonteCarlo estimates clean answers from n independently sampled
+// candidate databases. The estimate of each answer's probability is its
+// sample frequency; the standard error is at most 1/(2*sqrt(n)).
+func MonteCarlo(d *dirty.DB, stmt *sqlparse.SelectStmt, n int, seed int64) (*Result, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: MonteCarlo needs a positive sample count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	acc := newAccumulator()
+	var cols []string
+	w := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		c, err := d.Sample(rng)
+		if err != nil {
+			return nil, err
+		}
+		world, err := d.Materialize(c)
+		if err != nil {
+			return nil, err
+		}
+		res, err := engine.New(world).QueryStmt(stmt)
+		if err != nil {
+			return nil, err
+		}
+		cols = res.Columns
+		for _, row := range distinctRows(res.Rows) {
+			acc.add(row, w)
+		}
+	}
+	return acc.result(cols), nil
+}
+
+// ViaRewriting computes clean answers with the paper's rewriting: it
+// applies RewriteClean and runs the rewritten query once on the dirty
+// database. It fails with rewrite.NotRewritableError when the query is
+// outside the rewritable class.
+func ViaRewriting(d *dirty.DB, stmt *sqlparse.SelectStmt) (*Result, error) {
+	rw, err := rewrite.RewriteClean(d.Store.Catalog, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return runRewritten(d, rw)
+}
+
+// RunRewritten executes an already rewritten query (whose last output
+// column is the clean-answer probability) and packages the result.
+func RunRewritten(d *dirty.DB, rw *sqlparse.SelectStmt) (*Result, error) {
+	return runRewritten(d, rw)
+}
+
+func runRewritten(d *dirty.DB, rw *sqlparse.SelectStmt) (*Result, error) {
+	res, err := engine.New(d.Store).QueryStmt(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Columns) == 0 {
+		return nil, fmt.Errorf("core: rewritten query returned no columns")
+	}
+	last := len(res.Columns) - 1
+	out := &Result{Columns: res.Columns[:last]}
+	for _, row := range res.Rows {
+		pv := row[last]
+		if pv.IsNull() || !pv.IsNumeric() {
+			return nil, fmt.Errorf("core: rewritten query produced non-numeric probability %v", pv)
+		}
+		out.Answers = append(out.Answers, Answer{Values: row[:last], Prob: pv.AsFloat()})
+	}
+	out.sortAnswers()
+	return out, nil
+}
+
+// TopK returns the k most probable answers (ties broken by answer tuple
+// order) — the paper's primary use case: "help a user understand which
+// query answers are most likely to be present in the clean database".
+func (r *Result) TopK(k int) []Answer {
+	sorted := append([]Answer(nil), r.Answers...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Prob != sorted[j].Prob {
+			return sorted[i].Prob > sorted[j].Prob
+		}
+		return value.CompareRows(sorted[i].Values, sorted[j].Values) < 0
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return sorted[:k]
+}
+
+// AtLeast filters the result down to answers with probability >= p.
+func (r *Result) AtLeast(p float64) *Result {
+	out := &Result{Columns: r.Columns}
+	for _, a := range r.Answers {
+		if a.Prob >= p {
+			out.Answers = append(out.Answers, a)
+		}
+	}
+	return out
+}
+
+// ConsistentAnswers returns the answers with probability 1 (within tol):
+// the consistent answers of Arenas et al., which the paper shows to be the
+// special case of clean answers with complete certainty (§2.2).
+func ConsistentAnswers(r *Result, tol float64) *Result {
+	out := &Result{Columns: r.Columns}
+	for _, a := range r.Answers {
+		if a.Prob >= 1-tol {
+			out.Answers = append(out.Answers, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,375 @@
+// Package dirty implements the paper's dirty-database model (§2.1):
+// relations whose tuples are partitioned into clusters of potential
+// duplicates (Dfn 1), each tuple carrying the probability of being the
+// cluster's representative in the clean database (Dfn 2). On top of the
+// model it provides:
+//
+//   - validation and normalization of cluster probability functions,
+//   - enumeration of candidate databases (Dfn 3) with their probabilities
+//     (Dfn 4), used by the exact clean-answer evaluator,
+//   - independent sampling of candidate databases for the Monte-Carlo
+//     evaluator, and
+//   - identifier propagation: rewriting foreign-key values to refer to
+//     cluster identifiers, the pre-processing step the paper assumes
+//     (§2.1) and times in Figure 7.
+package dirty
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"math/rand"
+
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+// ProbEpsilon is the tolerance when checking that cluster probabilities
+// sum to 1.
+const ProbEpsilon = 1e-6
+
+// DB wraps a storage database whose relations may carry dirty metadata
+// (identifier + prob columns on their schemas).
+type DB struct {
+	Store *storage.DB
+}
+
+// New wraps store.
+func New(store *storage.DB) *DB { return &DB{Store: store} }
+
+// Cluster is one group of potential duplicates within a relation.
+type Cluster struct {
+	ID   value.Value // cluster identifier value
+	Rows []int       // row indices within the relation, in table order
+}
+
+// DirtyRelations returns the names of relations carrying dirty metadata,
+// in catalog order.
+func (d *DB) DirtyRelations() []string {
+	var out []string
+	for _, name := range d.Store.TableNames() {
+		tb, _ := d.Store.Table(name)
+		if tb.Schema.IsDirty() {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Clusters groups the rows of the named dirty relation by identifier.
+// Clusters are returned in order of first appearance; NULL identifiers are
+// rejected.
+func (d *DB) Clusters(rel string) ([]Cluster, error) {
+	tb, ok := d.Store.Table(rel)
+	if !ok {
+		return nil, fmt.Errorf("dirty: unknown relation %q", rel)
+	}
+	idIdx := tb.Schema.IdentifierIndex()
+	if idIdx < 0 {
+		return nil, fmt.Errorf("dirty: relation %q has no identifier column", rel)
+	}
+	pos := make(map[uint64][]int) // hash -> cluster positions in out
+	var out []Cluster
+	for i := 0; i < tb.Len(); i++ {
+		id := tb.Row(i)[idIdx]
+		if id.IsNull() {
+			return nil, fmt.Errorf("dirty: %s row %d has NULL identifier", rel, i)
+		}
+		h := value.Hash(id)
+		found := -1
+		for _, ci := range pos[h] {
+			if value.Equal(out[ci].ID, id) {
+				found = ci
+				break
+			}
+		}
+		if found < 0 {
+			found = len(out)
+			out = append(out, Cluster{ID: id})
+			pos[h] = append(pos[h], found)
+		}
+		out[found].Rows = append(out[found].Rows, i)
+	}
+	return out, nil
+}
+
+// Validate checks Dfn 2 on every dirty relation: each tuple probability
+// lies in [0, 1] — zero is legal; such tuples are simply never chosen —
+// and the probabilities within each cluster sum to 1 (within ProbEpsilon).
+// Singleton clusters therefore must have probability 1.
+func (d *DB) Validate() error {
+	for _, rel := range d.DirtyRelations() {
+		tb, _ := d.Store.Table(rel)
+		probIdx := tb.Schema.ProbIndex()
+		clusters, err := d.Clusters(rel)
+		if err != nil {
+			return err
+		}
+		for _, c := range clusters {
+			sum := 0.0
+			for _, ri := range c.Rows {
+				pv := tb.Row(ri)[probIdx]
+				if pv.IsNull() || !pv.IsNumeric() {
+					return fmt.Errorf("dirty: %s row %d has invalid probability %v", rel, ri, pv)
+				}
+				p := pv.AsFloat()
+				if p < 0 || p > 1+ProbEpsilon {
+					return fmt.Errorf("dirty: %s row %d probability %g outside [0,1]", rel, ri, p)
+				}
+				sum += p
+			}
+			if math.Abs(sum-1) > ProbEpsilon {
+				return fmt.Errorf("dirty: %s cluster %v probabilities sum to %g, want 1", rel, c.ID, sum)
+			}
+		}
+	}
+	return nil
+}
+
+// Normalize rescales the probabilities within each cluster of every dirty
+// relation to sum to exactly 1; clusters whose probabilities are all zero
+// get the uniform distribution. It is the standard fix-up after loading
+// externally produced probabilities.
+func (d *DB) Normalize() error {
+	for _, rel := range d.DirtyRelations() {
+		tb, _ := d.Store.Table(rel)
+		probIdx := tb.Schema.ProbIndex()
+		probCol := tb.Schema.Columns[probIdx].Name
+		clusters, err := d.Clusters(rel)
+		if err != nil {
+			return err
+		}
+		for _, c := range clusters {
+			sum := 0.0
+			for _, ri := range c.Rows {
+				pv := tb.Row(ri)[probIdx]
+				if !pv.IsNull() && pv.IsNumeric() {
+					sum += pv.AsFloat()
+				}
+			}
+			for _, ri := range c.Rows {
+				var p float64
+				if sum <= 0 {
+					p = 1 / float64(len(c.Rows))
+				} else {
+					pv := tb.Row(ri)[probIdx]
+					if !pv.IsNull() && pv.IsNumeric() {
+						p = pv.AsFloat() / sum
+					}
+				}
+				if err := tb.UpdateColumn(ri, probCol, value.Float(p)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CandidateCount returns the number of candidate databases: the product of
+// cluster sizes over every dirty relation (Dfn 3). The count is returned
+// as a big integer because it is exponential in the number of clusters.
+func (d *DB) CandidateCount() (*big.Int, error) {
+	n := big.NewInt(1)
+	for _, rel := range d.DirtyRelations() {
+		clusters, err := d.Clusters(rel)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range clusters {
+			n.Mul(n, big.NewInt(int64(len(c.Rows))))
+		}
+	}
+	return n, nil
+}
+
+// UncertaintyBits returns the Shannon entropy of the candidate-database
+// distribution in bits: the sum over clusters of the entropy of each
+// cluster's probability function (clusters choose independently, so
+// entropies add). Zero means the database is certain — every cluster is a
+// singleton or concentrates all mass on one tuple; each additional bit
+// doubles the effective number of equally likely clean databases.
+func (d *DB) UncertaintyBits() (float64, error) {
+	total := 0.0
+	for _, rel := range d.DirtyRelations() {
+		tb, _ := d.Store.Table(rel)
+		probIdx := tb.Schema.ProbIndex()
+		clusters, err := d.Clusters(rel)
+		if err != nil {
+			return 0, err
+		}
+		for _, c := range clusters {
+			for _, ri := range c.Rows {
+				pv := tb.Row(ri)[probIdx]
+				if pv.IsNull() || !pv.IsNumeric() {
+					return 0, fmt.Errorf("dirty: %s row %d has no probability", rel, ri)
+				}
+				if p := pv.AsFloat(); p > 0 {
+					total -= p * math.Log2(p)
+				}
+			}
+		}
+	}
+	return total, nil
+}
+
+// Candidate identifies one candidate database: for every dirty relation,
+// the chosen row index per cluster (aligned with the Clusters order), plus
+// the candidate's probability (Dfn 4: product of chosen tuple
+// probabilities).
+type Candidate struct {
+	// Chosen maps a dirty relation name to the chosen row index for each
+	// of its clusters, in Clusters order.
+	Chosen map[string][]int
+	Prob   float64
+}
+
+// relClusters caches per-relation cluster structure for enumeration and
+// sampling.
+type relClusters struct {
+	rel      string
+	probIdx  int
+	table    *storage.Table
+	clusters []Cluster
+}
+
+func (d *DB) relClusterList() ([]relClusters, error) {
+	var out []relClusters
+	for _, rel := range d.DirtyRelations() {
+		tb, _ := d.Store.Table(rel)
+		clusters, err := d.Clusters(rel)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, relClusters{
+			rel:      rel,
+			probIdx:  tb.Schema.ProbIndex(),
+			table:    tb,
+			clusters: clusters,
+		})
+	}
+	return out, nil
+}
+
+// EnumerateLimit is the default cap on how many candidate databases
+// EnumerateCandidates will visit before giving up.
+const EnumerateLimit = 1 << 22
+
+// EnumerateCandidates visits every candidate database (Dfn 3), calling fn
+// with each candidate and its probability. fn returning false stops the
+// enumeration early. It fails upfront when the candidate count exceeds
+// limit (pass 0 for EnumerateLimit); exact enumeration is meant for
+// verification on small databases, with the rewriting or Monte-Carlo
+// evaluators covering the rest.
+func (d *DB) EnumerateCandidates(limit int64, fn func(c *Candidate) bool) error {
+	if limit <= 0 {
+		limit = EnumerateLimit
+	}
+	count, err := d.CandidateCount()
+	if err != nil {
+		return err
+	}
+	if count.Cmp(big.NewInt(limit)) > 0 {
+		return fmt.Errorf("dirty: %v candidate databases exceed enumeration limit %d", count, limit)
+	}
+	rels, err := d.relClusterList()
+	if err != nil {
+		return err
+	}
+	// Flatten all clusters across relations into one list of choice points.
+	type choice struct {
+		relIdx, clusterIdx int
+	}
+	var choices []choice
+	for ri, rc := range rels {
+		for ci := range rc.clusters {
+			choices = append(choices, choice{relIdx: ri, clusterIdx: ci})
+		}
+	}
+	cand := &Candidate{Chosen: make(map[string][]int, len(rels))}
+	for _, rc := range rels {
+		cand.Chosen[rc.rel] = make([]int, len(rc.clusters))
+	}
+	var rec func(i int, prob float64) bool
+	rec = func(i int, prob float64) bool {
+		if i == len(choices) {
+			cand.Prob = prob
+			return fn(cand)
+		}
+		ch := choices[i]
+		rc := rels[ch.relIdx]
+		cluster := rc.clusters[ch.clusterIdx]
+		for _, rowIdx := range cluster.Rows {
+			p := rc.table.Row(rowIdx)[rc.probIdx].AsFloat()
+			cand.Chosen[rc.rel][ch.clusterIdx] = rowIdx
+			if !rec(i+1, prob*p) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 1.0)
+	return nil
+}
+
+// Sample draws one candidate database at random, choosing each cluster's
+// tuple independently according to its probability function.
+func (d *DB) Sample(rng *rand.Rand) (*Candidate, error) {
+	rels, err := d.relClusterList()
+	if err != nil {
+		return nil, err
+	}
+	cand := &Candidate{Chosen: make(map[string][]int, len(rels)), Prob: 1}
+	for _, rc := range rels {
+		chosen := make([]int, len(rc.clusters))
+		for ci, cluster := range rc.clusters {
+			r := rng.Float64()
+			acc := 0.0
+			pick := cluster.Rows[len(cluster.Rows)-1] // guard against rounding
+			var pickProb float64
+			for _, rowIdx := range cluster.Rows {
+				p := rc.table.Row(rowIdx)[rc.probIdx].AsFloat()
+				acc += p
+				if r < acc {
+					pick, pickProb = rowIdx, p
+					break
+				}
+				pickProb = p
+			}
+			chosen[ci] = pick
+			cand.Prob *= pickProb
+		}
+		cand.Chosen[rc.rel] = chosen
+	}
+	return cand, nil
+}
+
+// Materialize builds a standalone database holding exactly the candidate's
+// chosen tuples for dirty relations and every tuple of clean relations.
+// Schemas are shared with the source (they are not mutated during query
+// answering).
+func (d *DB) Materialize(c *Candidate) (*storage.DB, error) {
+	out := storage.NewDB()
+	for _, name := range d.Store.TableNames() {
+		src, _ := d.Store.Table(name)
+		dst, err := out.CreateTable(src.Schema)
+		if err != nil {
+			return nil, err
+		}
+		chosen, isDirty := c.Chosen[name]
+		if !isDirty {
+			for _, row := range src.Rows() {
+				if err := dst.Insert(row); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		for _, rowIdx := range chosen {
+			if err := dst.Insert(src.Row(rowIdx)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

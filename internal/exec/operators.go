@@ -1,0 +1,916 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"conquer/internal/sqlparse"
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+// Scan reads every row of a stored table, tagging columns with the query
+// alias so references resolve per-occurrence.
+type Scan struct {
+	Table *storage.Table
+	Alias string
+
+	schema RowSchema
+	pos    int
+}
+
+// NewScan builds a scan of tb under the given alias.
+func NewScan(tb *storage.Table, alias string) *Scan {
+	s := &Scan{Table: tb, Alias: strings.ToLower(alias)}
+	for _, c := range tb.Schema.Columns {
+		s.schema = append(s.schema, ColInfo{Qualifier: s.Alias, Name: c.Name, Type: c.Type})
+	}
+	return s
+}
+
+func (s *Scan) Schema() RowSchema { return s.schema }
+
+// Open resets the cursor.
+func (s *Scan) Open() error { s.pos = 0; return nil }
+
+// Next returns the next stored row.
+func (s *Scan) Next() ([]value.Value, error) {
+	if s.pos >= s.Table.Len() {
+		return nil, nil
+	}
+	row := s.Table.Row(s.pos)
+	s.pos++
+	return row, nil
+}
+
+func (s *Scan) Close() error { return nil }
+
+// Describe implements Operator.
+func (s *Scan) Describe() string {
+	return fmt.Sprintf("Scan(%s AS %s, %d rows)", s.Table.Schema.Name, s.Alias, s.Table.Len())
+}
+
+// Filter passes through child rows satisfying the predicate.
+type Filter struct {
+	Child Operator
+	Pred  sqlparse.Expr
+
+	test func([]value.Value) (bool, error)
+}
+
+// NewFilter compiles pred against the child schema.
+func NewFilter(child Operator, pred sqlparse.Expr) (*Filter, error) {
+	test, err := CompilePredicate(pred, child.Schema())
+	if err != nil {
+		return nil, err
+	}
+	return &Filter{Child: child, Pred: pred, test: test}, nil
+}
+
+func (f *Filter) Schema() RowSchema { return f.Child.Schema() }
+func (f *Filter) Open() error       { return f.Child.Open() }
+func (f *Filter) Close() error      { return f.Child.Close() }
+
+// Next returns the next child row passing the predicate.
+func (f *Filter) Next() ([]value.Value, error) {
+	for {
+		row, err := f.Child.Next()
+		if err != nil || row == nil {
+			return row, err
+		}
+		ok, err := f.test(row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return row, nil
+		}
+	}
+}
+
+// Describe implements Operator.
+func (f *Filter) Describe() string { return "Filter(" + f.Pred.SQL() + ")" }
+
+// Project computes output columns from expressions over child rows.
+type Project struct {
+	Child Operator
+
+	schema RowSchema
+	evals  []Evaluator
+}
+
+// ProjectionCol pairs an output column descriptor with its source
+// expression.
+type ProjectionCol struct {
+	Expr sqlparse.Expr
+	Col  ColInfo
+}
+
+// NewProject compiles the projection list against the child schema.
+func NewProject(child Operator, cols []ProjectionCol) (*Project, error) {
+	p := &Project{Child: child}
+	for _, pc := range cols {
+		ev, err := Compile(pc.Expr, child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		p.evals = append(p.evals, ev)
+		p.schema = append(p.schema, pc.Col)
+	}
+	return p, nil
+}
+
+func (p *Project) Schema() RowSchema { return p.schema }
+func (p *Project) Open() error       { return p.Child.Open() }
+func (p *Project) Close() error      { return p.Child.Close() }
+
+// Next computes the projection of the next child row.
+func (p *Project) Next() ([]value.Value, error) {
+	row, err := p.Child.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make([]value.Value, len(p.evals))
+	for i, ev := range p.evals {
+		v, err := ev(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Describe implements Operator.
+func (p *Project) Describe() string {
+	names := make([]string, len(p.schema))
+	for i, c := range p.schema {
+		names[i] = c.Name
+	}
+	return "Project(" + strings.Join(names, ", ") + ")"
+}
+
+// HashJoin is an equi-join: it builds a hash table on the right input keyed
+// by the right key expressions, then probes with left rows. NULL join keys
+// match nothing, as in SQL.
+type HashJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []sqlparse.Expr
+
+	schema  RowSchema
+	lk, rk  []Evaluator
+	table   map[uint64][]buildEntry
+	cur     []buildEntry // matches pending for current left row
+	curLeft []value.Value
+	curIdx  int
+}
+
+type buildEntry struct {
+	keys []value.Value
+	row  []value.Value
+}
+
+// NewHashJoin compiles the key expressions against the respective inputs.
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []sqlparse.Expr) (*HashJoin, error) {
+	if len(leftKeys) != len(rightKeys) || len(leftKeys) == 0 {
+		return nil, fmt.Errorf("exec: hash join needs matching non-empty key lists")
+	}
+	j := &HashJoin{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys}
+	j.schema = left.Schema().Concat(right.Schema())
+	for _, k := range leftKeys {
+		ev, err := Compile(k, left.Schema())
+		if err != nil {
+			return nil, err
+		}
+		j.lk = append(j.lk, ev)
+	}
+	for _, k := range rightKeys {
+		ev, err := Compile(k, right.Schema())
+		if err != nil {
+			return nil, err
+		}
+		j.rk = append(j.rk, ev)
+	}
+	return j, nil
+}
+
+func (j *HashJoin) Schema() RowSchema { return j.schema }
+
+// Open builds the hash table over the right input.
+func (j *HashJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.table = make(map[uint64][]buildEntry)
+	j.cur, j.curLeft, j.curIdx = nil, nil, 0
+	for {
+		row, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keys, null, err := evalKeys(j.rk, row)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		h := value.HashRow(keys)
+		j.table[h] = append(j.table[h], buildEntry{keys: keys, row: row})
+	}
+	return j.Right.Close()
+}
+
+func evalKeys(evs []Evaluator, row []value.Value) ([]value.Value, bool, error) {
+	keys := make([]value.Value, len(evs))
+	for i, ev := range evs {
+		v, err := ev(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsNull() {
+			return nil, true, nil
+		}
+		keys[i] = v
+	}
+	return keys, false, nil
+}
+
+// Next produces the next joined row.
+func (j *HashJoin) Next() ([]value.Value, error) {
+	for {
+		for j.curIdx < len(j.cur) {
+			e := j.cur[j.curIdx]
+			j.curIdx++
+			out := make([]value.Value, 0, len(j.schema))
+			out = append(out, j.curLeft...)
+			out = append(out, e.row...)
+			return out, nil
+		}
+		left, err := j.Left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if left == nil {
+			return nil, nil
+		}
+		keys, null, err := evalKeys(j.lk, left)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		var matches []buildEntry
+		for _, e := range j.table[value.HashRow(keys)] {
+			if keysEqual(e.keys, keys) {
+				matches = append(matches, e)
+			}
+		}
+		j.cur, j.curLeft, j.curIdx = matches, left, 0
+	}
+}
+
+func keysEqual(a, b []value.Value) bool {
+	for i := range a {
+		if !value.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Left.Close()
+}
+
+// Describe implements Operator.
+func (j *HashJoin) Describe() string {
+	parts := make([]string, len(j.LeftKeys))
+	for i := range j.LeftKeys {
+		parts[i] = j.LeftKeys[i].SQL() + " = " + j.RightKeys[i].SQL()
+	}
+	return "HashJoin(" + strings.Join(parts, " AND ") + ")"
+}
+
+// IndexJoin is an index nested-loop equi-join: for each outer row it probes
+// a stored hash index on the inner table's join column. The inner side must
+// be a base table with an index on the named column.
+type IndexJoin struct {
+	Outer      Operator
+	InnerTable *storage.Table
+	InnerAlias string
+	OuterKey   sqlparse.Expr
+	InnerCol   string
+
+	schema RowSchema
+	ok     Evaluator
+	index  *storage.HashIndex
+	cur    []int
+	curOut []value.Value
+	curIdx int
+}
+
+// NewIndexJoin builds the join; it fails if the inner table lacks an index
+// on innerCol.
+func NewIndexJoin(outer Operator, inner *storage.Table, innerAlias string, outerKey sqlparse.Expr, innerCol string) (*IndexJoin, error) {
+	idx, ok := inner.Index(innerCol)
+	if !ok {
+		return nil, fmt.Errorf("exec: table %s has no index on %q", inner.Schema.Name, innerCol)
+	}
+	j := &IndexJoin{
+		Outer: outer, InnerTable: inner, InnerAlias: strings.ToLower(innerAlias),
+		OuterKey: outerKey, InnerCol: strings.ToLower(innerCol), index: idx,
+	}
+	ev, err := Compile(outerKey, outer.Schema())
+	if err != nil {
+		return nil, err
+	}
+	j.ok = ev
+	j.schema = outer.Schema()
+	for _, c := range inner.Schema.Columns {
+		j.schema = append(j.schema, ColInfo{Qualifier: j.InnerAlias, Name: c.Name, Type: c.Type})
+	}
+	return j, nil
+}
+
+func (j *IndexJoin) Schema() RowSchema { return j.schema }
+
+// Open opens the outer input.
+func (j *IndexJoin) Open() error {
+	j.cur, j.curOut, j.curIdx = nil, nil, 0
+	return j.Outer.Open()
+}
+
+// Next probes the index with successive outer rows.
+func (j *IndexJoin) Next() ([]value.Value, error) {
+	for {
+		for j.curIdx < len(j.cur) {
+			inner := j.InnerTable.Row(j.cur[j.curIdx])
+			j.curIdx++
+			out := make([]value.Value, 0, len(j.schema))
+			out = append(out, j.curOut...)
+			out = append(out, inner...)
+			return out, nil
+		}
+		outer, err := j.Outer.Next()
+		if err != nil {
+			return nil, err
+		}
+		if outer == nil {
+			return nil, nil
+		}
+		k, err := j.ok(outer)
+		if err != nil {
+			return nil, err
+		}
+		j.cur, j.curOut, j.curIdx = j.index.Lookup(k), outer, 0
+	}
+}
+
+func (j *IndexJoin) Close() error { return j.Outer.Close() }
+
+// Describe implements Operator.
+func (j *IndexJoin) Describe() string {
+	return fmt.Sprintf("IndexJoin(%s = %s.%s)", j.OuterKey.SQL(), j.InnerAlias, j.InnerCol)
+}
+
+// CrossJoin produces the Cartesian product of its inputs; the planner only
+// emits it for disconnected join graphs.
+type CrossJoin struct {
+	Left, Right Operator
+
+	schema    RowSchema
+	rightRows [][]value.Value
+	curLeft   []value.Value
+	curIdx    int
+}
+
+// NewCrossJoin pairs every left row with every right row.
+func NewCrossJoin(left, right Operator) *CrossJoin {
+	return &CrossJoin{Left: left, Right: right, schema: left.Schema().Concat(right.Schema())}
+}
+
+func (j *CrossJoin) Schema() RowSchema { return j.schema }
+
+// Open materializes the right input.
+func (j *CrossJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	rows, err := Collect(j.Right)
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.curLeft, j.curIdx = nil, 0
+	return nil
+}
+
+// Next emits the product pairs.
+func (j *CrossJoin) Next() ([]value.Value, error) {
+	for {
+		if j.curLeft != nil && j.curIdx < len(j.rightRows) {
+			out := make([]value.Value, 0, len(j.schema))
+			out = append(out, j.curLeft...)
+			out = append(out, j.rightRows[j.curIdx]...)
+			j.curIdx++
+			return out, nil
+		}
+		left, err := j.Left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if left == nil {
+			return nil, nil
+		}
+		j.curLeft, j.curIdx = left, 0
+	}
+}
+
+func (j *CrossJoin) Close() error {
+	j.rightRows = nil
+	return j.Left.Close()
+}
+
+// Describe implements Operator.
+func (j *CrossJoin) Describe() string { return "CrossJoin" }
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+// Supported aggregates.
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// ParseAggFunc maps an (upper-case) function name to its AggFunc.
+func ParseAggFunc(name string) (AggFunc, error) {
+	switch name {
+	case "SUM":
+		return AggSum, nil
+	case "COUNT":
+		return AggCount, nil
+	case "AVG":
+		return AggAvg, nil
+	case "MIN":
+		return AggMin, nil
+	case "MAX":
+		return AggMax, nil
+	}
+	return 0, fmt.Errorf("exec: unknown aggregate %q", name)
+}
+
+// AggSpec describes one aggregate output: a function over an argument
+// expression (nil argument means COUNT(*)).
+type AggSpec struct {
+	Func AggFunc
+	Arg  sqlparse.Expr // nil for COUNT(*)
+	Col  ColInfo
+}
+
+// HashAggregate groups child rows by the group expressions and computes the
+// aggregate specs per group. Output rows are the group values followed by
+// the aggregates, in spec order. Without group expressions it produces one
+// global row.
+type HashAggregate struct {
+	Child  Operator
+	Groups []sqlparse.Expr
+	Aggs   []AggSpec
+
+	schema   RowSchema
+	groupEvs []Evaluator
+	argEvs   []Evaluator // nil for COUNT(*)
+	out      [][]value.Value
+	pos      int
+}
+
+type aggState struct {
+	groupVals []value.Value
+	count     []int64
+	sum       []float64
+	sumIsInt  []bool
+	min, max  []value.Value
+	seen      []bool
+}
+
+// NewHashAggregate compiles groups and aggregate arguments; groupCols name
+// the group outputs.
+func NewHashAggregate(child Operator, groups []sqlparse.Expr, groupCols []ColInfo, aggs []AggSpec) (*HashAggregate, error) {
+	if len(groups) != len(groupCols) {
+		return nil, fmt.Errorf("exec: group expressions and columns must align")
+	}
+	a := &HashAggregate{Child: child, Groups: groups, Aggs: aggs}
+	for i, g := range groups {
+		ev, err := Compile(g, child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		a.groupEvs = append(a.groupEvs, ev)
+		a.schema = append(a.schema, groupCols[i])
+	}
+	for _, spec := range aggs {
+		if spec.Arg == nil {
+			if spec.Func != AggCount {
+				return nil, fmt.Errorf("exec: only COUNT supports *")
+			}
+			a.argEvs = append(a.argEvs, nil)
+		} else {
+			ev, err := Compile(spec.Arg, child.Schema())
+			if err != nil {
+				return nil, err
+			}
+			a.argEvs = append(a.argEvs, ev)
+		}
+		a.schema = append(a.schema, spec.Col)
+	}
+	return a, nil
+}
+
+func (a *HashAggregate) Schema() RowSchema { return a.schema }
+
+// Open drains the child and builds all groups.
+func (a *HashAggregate) Open() error {
+	if err := a.Child.Open(); err != nil {
+		return err
+	}
+	defer a.Child.Close()
+	groups := make(map[uint64][]*aggState)
+	var order []*aggState
+	n := len(a.Aggs)
+	scratch := make([]value.Value, len(a.groupEvs)) // reused per row
+	for {
+		row, err := a.Child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		gv := scratch
+		for i, ev := range a.groupEvs {
+			v, err := ev(row)
+			if err != nil {
+				return err
+			}
+			gv[i] = v
+		}
+		h := value.HashRow(gv)
+		var st *aggState
+		for _, cand := range groups[h] {
+			if value.RowsIdentical(cand.groupVals, gv) {
+				st = cand
+				break
+			}
+		}
+		if st == nil {
+			st = &aggState{
+				groupVals: append([]value.Value(nil), gv...),
+				count:     make([]int64, n),
+				sum:       make([]float64, n),
+				sumIsInt:  make([]bool, n),
+				min:       make([]value.Value, n),
+				max:       make([]value.Value, n),
+				seen:      make([]bool, n),
+			}
+			for i := range st.sumIsInt {
+				st.sumIsInt[i] = true
+			}
+			groups[h] = append(groups[h], st)
+			order = append(order, st)
+		}
+		for i, spec := range a.Aggs {
+			if a.argEvs[i] == nil { // COUNT(*)
+				st.count[i]++
+				continue
+			}
+			v, err := a.argEvs[i](row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue // aggregates skip NULLs
+			}
+			st.count[i]++
+			switch spec.Func {
+			case AggSum, AggAvg:
+				if !v.IsNumeric() {
+					return fmt.Errorf("exec: %v over non-numeric value", spec.Func)
+				}
+				if v.Kind() != value.KindInt {
+					st.sumIsInt[i] = false
+				}
+				st.sum[i] += v.AsFloat()
+			case AggMin:
+				if !st.seen[i] || value.Compare(v, st.min[i]) < 0 {
+					st.min[i] = v
+				}
+			case AggMax:
+				if !st.seen[i] || value.Compare(v, st.max[i]) > 0 {
+					st.max[i] = v
+				}
+			}
+			st.seen[i] = true
+		}
+	}
+	// Global aggregate over an empty input still yields one row.
+	if len(a.groupEvs) == 0 && len(order) == 0 {
+		st := &aggState{
+			count: make([]int64, n), sum: make([]float64, n),
+			sumIsInt: make([]bool, n), min: make([]value.Value, n),
+			max: make([]value.Value, n), seen: make([]bool, n),
+		}
+		order = append(order, st)
+	}
+	a.out = a.out[:0]
+	for _, st := range order {
+		row := make([]value.Value, 0, len(a.schema))
+		row = append(row, st.groupVals...)
+		for i, spec := range a.Aggs {
+			row = append(row, finishAgg(spec.Func, st, i))
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+func finishAgg(f AggFunc, st *aggState, i int) value.Value {
+	switch f {
+	case AggCount:
+		return value.Int(st.count[i])
+	case AggSum:
+		if st.count[i] == 0 {
+			return value.Null()
+		}
+		if st.sumIsInt[i] {
+			return value.Int(int64(st.sum[i]))
+		}
+		return value.Float(st.sum[i])
+	case AggAvg:
+		if st.count[i] == 0 {
+			return value.Null()
+		}
+		return value.Float(st.sum[i] / float64(st.count[i]))
+	case AggMin:
+		if !st.seen[i] {
+			return value.Null()
+		}
+		return st.min[i]
+	case AggMax:
+		if !st.seen[i] {
+			return value.Null()
+		}
+		return st.max[i]
+	}
+	return value.Null()
+}
+
+// Next returns the next group row.
+func (a *HashAggregate) Next() ([]value.Value, error) {
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	row := a.out[a.pos]
+	a.pos++
+	return row, nil
+}
+
+func (a *HashAggregate) Close() error {
+	a.out = nil
+	return nil
+}
+
+// Describe implements Operator.
+func (a *HashAggregate) Describe() string {
+	return fmt.Sprintf("HashAggregate(%d groups, %d aggs)", len(a.Groups), len(a.Aggs))
+}
+
+// SortKey is one sort criterion over the child schema: either an
+// expression compiled against the child, or (when Pos >= 0) a direct child
+// column position. Positional keys let the planner reference projected
+// columns whose bare names collide (e.g. o.id and c.id both projected as
+// "id").
+type SortKey struct {
+	Expr sqlparse.Expr // used when Pos < 0
+	Pos  int           // output column position; -1 to use Expr
+	Desc bool
+}
+
+// SortKeyExpr builds an expression-based key.
+func SortKeyExpr(e sqlparse.Expr, desc bool) SortKey { return SortKey{Expr: e, Pos: -1, Desc: desc} }
+
+// SortKeyPos builds a positional key.
+func SortKeyPos(pos int, desc bool) SortKey { return SortKey{Pos: pos, Desc: desc} }
+
+// Sort materializes the child and orders rows by the keys (NULLs first on
+// ascending keys). The sort is stable.
+type Sort struct {
+	Child Operator
+	Keys  []SortKey
+
+	evs  []Evaluator
+	rows [][]value.Value
+	pos  int
+}
+
+// NewSort compiles the sort keys against the child schema.
+func NewSort(child Operator, keys []SortKey) (*Sort, error) {
+	s := &Sort{Child: child, Keys: keys}
+	width := len(child.Schema())
+	for _, k := range keys {
+		if k.Pos >= 0 {
+			if k.Pos >= width {
+				return nil, fmt.Errorf("exec: sort position %d out of range (width %d)", k.Pos, width)
+			}
+			pos := k.Pos
+			s.evs = append(s.evs, func(row []value.Value) (value.Value, error) {
+				return row[pos], nil
+			})
+			continue
+		}
+		ev, err := Compile(k.Expr, child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		s.evs = append(s.evs, ev)
+	}
+	return s, nil
+}
+
+func (s *Sort) Schema() RowSchema { return s.Child.Schema() }
+
+// Open drains and sorts the child.
+func (s *Sort) Open() error {
+	rows, err := Collect(s.Child)
+	if err != nil {
+		return err
+	}
+	keys := make([][]value.Value, len(rows))
+	var evalErr error
+	for i, row := range rows {
+		kv := make([]value.Value, len(s.evs))
+		for k, ev := range s.evs {
+			v, err := ev(row)
+			if err != nil {
+				evalErr = err
+				break
+			}
+			kv[k] = v
+		}
+		keys[i] = kv
+	}
+	if evalErr != nil {
+		return evalErr
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		a, b := keys[idx[x]], keys[idx[y]]
+		for k := range s.Keys {
+			c := value.Compare(a[k], b[k])
+			if c == 0 {
+				continue
+			}
+			if s.Keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.rows = make([][]value.Value, len(rows))
+	for i, j := range idx {
+		s.rows[i] = rows[j]
+	}
+	s.pos = 0
+	return nil
+}
+
+// Next returns rows in sorted order.
+func (s *Sort) Next() ([]value.Value, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *Sort) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Describe implements Operator.
+func (s *Sort) Describe() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		if k.Pos >= 0 {
+			parts[i] = fmt.Sprintf("#%d", k.Pos+1)
+		} else {
+			parts[i] = k.Expr.SQL()
+		}
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return "Sort(" + strings.Join(parts, ", ") + ")"
+}
+
+// Distinct suppresses duplicate rows (NULL-aware, like SQL DISTINCT).
+type Distinct struct {
+	Child Operator
+
+	seen map[uint64][][]value.Value
+}
+
+// NewDistinct wraps child.
+func NewDistinct(child Operator) *Distinct { return &Distinct{Child: child} }
+
+func (d *Distinct) Schema() RowSchema { return d.Child.Schema() }
+
+// Open resets the duplicate table.
+func (d *Distinct) Open() error {
+	d.seen = make(map[uint64][][]value.Value)
+	return d.Child.Open()
+}
+
+// Next returns the next previously unseen row.
+func (d *Distinct) Next() ([]value.Value, error) {
+	for {
+		row, err := d.Child.Next()
+		if err != nil || row == nil {
+			return row, err
+		}
+		h := value.HashRow(row)
+		dup := false
+		for _, prev := range d.seen[h] {
+			if value.RowsIdentical(prev, row) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[h] = append(d.seen[h], row)
+		return row, nil
+	}
+}
+
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.Child.Close()
+}
+
+// Describe implements Operator.
+func (d *Distinct) Describe() string { return "Distinct" }
+
+// Limit passes through at most N rows.
+type Limit struct {
+	Child Operator
+	N     int
+
+	emitted int
+}
+
+// NewLimit wraps child.
+func NewLimit(child Operator, n int) *Limit { return &Limit{Child: child, N: n} }
+
+func (l *Limit) Schema() RowSchema { return l.Child.Schema() }
+
+// Open resets the counter.
+func (l *Limit) Open() error { l.emitted = 0; return l.Child.Open() }
+
+// Next stops after N rows.
+func (l *Limit) Next() ([]value.Value, error) {
+	if l.emitted >= l.N {
+		return nil, nil
+	}
+	row, err := l.Child.Next()
+	if err != nil || row == nil {
+		return row, err
+	}
+	l.emitted++
+	return row, nil
+}
+
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// Describe implements Operator.
+func (l *Limit) Describe() string { return fmt.Sprintf("Limit(%d)", l.N) }

@@ -1,0 +1,157 @@
+// Package exec implements the physical query operators: scans, filters,
+// hash joins, index nested-loop joins, projection, hash aggregation,
+// sorting, DISTINCT and LIMIT — all pull-based iterators — together with a
+// compiler from sqlparse expressions to evaluators over operator rows.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"conquer/internal/value"
+)
+
+// ColInfo describes one column of an operator's output.
+type ColInfo struct {
+	Qualifier string // table alias that produced the column ("" for derived)
+	Name      string
+	Type      value.Kind
+}
+
+// RowSchema is the ordered column layout of an operator's rows.
+type RowSchema []ColInfo
+
+// Resolve returns the position of the column matching the (possibly empty)
+// qualifier and name. Unqualified lookups that match more than one column
+// are ambiguous and rejected.
+func (rs RowSchema) Resolve(qualifier, name string) (int, error) {
+	qualifier = strings.ToLower(qualifier)
+	name = strings.ToLower(name)
+	found := -1
+	for i, c := range rs {
+		if c.Name != name {
+			continue
+		}
+		if qualifier != "" && c.Qualifier != qualifier {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("exec: ambiguous column reference %q", refString(qualifier, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("exec: unknown column %q", refString(qualifier, name))
+	}
+	return found, nil
+}
+
+func refString(q, n string) string {
+	if q == "" {
+		return n
+	}
+	return q + "." + n
+}
+
+// Concat appends the columns of other after rs.
+func (rs RowSchema) Concat(other RowSchema) RowSchema {
+	out := make(RowSchema, 0, len(rs)+len(other))
+	out = append(out, rs...)
+	out = append(out, other...)
+	return out
+}
+
+// Names returns the bare column names in order.
+func (rs RowSchema) Names() []string {
+	out := make([]string, len(rs))
+	for i, c := range rs {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Operator is a pull-based physical operator. Usage:
+//
+//	if err := op.Open(); err != nil { ... }
+//	defer op.Close()
+//	for {
+//		row, err := op.Next()
+//		if err != nil { ... }
+//		if row == nil { break } // exhausted
+//	}
+//
+// Returned rows may be reused or retained by the caller; operators always
+// hand out rows they will not mutate afterwards.
+type Operator interface {
+	Schema() RowSchema
+	Open() error
+	Next() ([]value.Value, error)
+	Close() error
+	// Describe returns a one-line description for EXPLAIN output.
+	Describe() string
+}
+
+// Collect drains op into a slice of rows, handling Open/Close.
+func Collect(op Operator) ([][]value.Value, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows [][]value.Value
+	for {
+		row, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return rows, nil
+		}
+		rows = append(rows, row)
+	}
+}
+
+// Explain renders the operator tree, one operator per line, children
+// indented under parents.
+func Explain(op Operator) string {
+	var b strings.Builder
+	explain(&b, op, 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, op Operator, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(op.Describe())
+	b.WriteByte('\n')
+	for _, c := range children(op) {
+		explain(b, c, depth+1)
+	}
+}
+
+func children(op Operator) []Operator {
+	switch op := op.(type) {
+	case *Filter:
+		return []Operator{op.Child}
+	case *Project:
+		return []Operator{op.Child}
+	case *HashJoin:
+		return []Operator{op.Left, op.Right}
+	case *IndexJoin:
+		return []Operator{op.Outer}
+	case *CrossJoin:
+		return []Operator{op.Left, op.Right}
+	case *HashAggregate:
+		return []Operator{op.Child}
+	case *Sort:
+		return []Operator{op.Child}
+	case *TopN:
+		return []Operator{op.Child}
+	case *Distinct:
+		return []Operator{op.Child}
+	case *Limit:
+		return []Operator{op.Child}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,188 @@
+package exec
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"conquer/internal/value"
+)
+
+// TopN is the fusion of Sort and Limit: it keeps only the N smallest rows
+// under the sort keys in a bounded heap, using O(N) memory instead of
+// materializing and sorting the whole input. The paper's Figure 9 shows
+// ORDER BY dominating query cost as duplication grows; for the common
+// "top answers" use (ORDER BY prob DESC LIMIT k over clean answers) this
+// operator removes that full-sort cost.
+type TopN struct {
+	Child Operator
+	Keys  []SortKey
+	N     int
+
+	evs  []Evaluator
+	rows [][]value.Value
+	pos  int
+}
+
+// NewTopN compiles the sort keys against the child schema. n must be
+// positive.
+func NewTopN(child Operator, keys []SortKey, n int) (*TopN, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("exec: TopN needs a positive limit, got %d", n)
+	}
+	t := &TopN{Child: child, Keys: keys, N: n}
+	width := len(child.Schema())
+	for _, k := range keys {
+		if k.Pos >= 0 {
+			if k.Pos >= width {
+				return nil, fmt.Errorf("exec: sort position %d out of range (width %d)", k.Pos, width)
+			}
+			pos := k.Pos
+			t.evs = append(t.evs, func(row []value.Value) (value.Value, error) {
+				return row[pos], nil
+			})
+			continue
+		}
+		ev, err := Compile(k.Expr, child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		t.evs = append(t.evs, ev)
+	}
+	return t, nil
+}
+
+func (t *TopN) Schema() RowSchema { return t.Child.Schema() }
+
+// keyed pairs a row with its evaluated sort keys and arrival order (for
+// stability).
+type keyed struct {
+	row  []value.Value
+	keys []value.Value
+	seq  int
+}
+
+// topHeap is a max-heap under the sort order: the root is the worst kept
+// row, evicted when a better one arrives.
+type topHeap struct {
+	items []keyed
+	keys  []SortKey
+}
+
+func (h *topHeap) Len() int { return len(h.items) }
+func (h *topHeap) Less(i, j int) bool {
+	// Max-heap: "less" means sorts-after.
+	return sortsBefore(h.keys, h.items[j], h.items[i])
+}
+func (h *topHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *topHeap) Push(x any)    { h.items = append(h.items, x.(keyed)) }
+func (h *topHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// sortsBefore orders two keyed rows by the sort keys, falling back to
+// arrival order so the operator is stable like Sort.
+func sortsBefore(keys []SortKey, a, b keyed) bool {
+	for k := range keys {
+		c := value.Compare(a.keys[k], b.keys[k])
+		if c == 0 {
+			continue
+		}
+		if keys[k].Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return a.seq < b.seq
+}
+
+// Open drains the child through the bounded heap.
+func (t *TopN) Open() error {
+	if err := t.Child.Open(); err != nil {
+		return err
+	}
+	defer t.Child.Close()
+	h := &topHeap{keys: t.Keys}
+	seq := 0
+	for {
+		row, err := t.Child.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		kv := make([]value.Value, len(t.evs))
+		for k, ev := range t.evs {
+			v, err := ev(row)
+			if err != nil {
+				return err
+			}
+			kv[k] = v
+		}
+		it := keyed{row: row, keys: kv, seq: seq}
+		seq++
+		if h.Len() < t.N {
+			heap.Push(h, it)
+			continue
+		}
+		if sortsBefore(t.Keys, it, h.items[0]) {
+			h.items[0] = it
+			heap.Fix(h, 0)
+		}
+	}
+	items := h.items
+	sort.Slice(items, func(i, j int) bool { return sortsBefore(t.Keys, items[i], items[j]) })
+	t.rows = make([][]value.Value, len(items))
+	for i, it := range items {
+		t.rows[i] = it.row
+	}
+	t.pos = 0
+	return nil
+}
+
+// Next returns the kept rows in sorted order.
+func (t *TopN) Next() ([]value.Value, error) {
+	if t.pos >= len(t.rows) {
+		return nil, nil
+	}
+	row := t.rows[t.pos]
+	t.pos++
+	return row, nil
+}
+
+func (t *TopN) Close() error {
+	t.rows = nil
+	return nil
+}
+
+// Describe implements Operator.
+func (t *TopN) Describe() string {
+	parts := make([]string, len(t.Keys))
+	for i, k := range t.Keys {
+		if k.Pos >= 0 {
+			parts[i] = fmt.Sprintf("#%d", k.Pos+1)
+		} else {
+			parts[i] = k.Expr.SQL()
+		}
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return fmt.Sprintf("TopN(%d; %s)", t.N, joinComma(parts))
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}

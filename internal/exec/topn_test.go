@@ -1,0 +1,160 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"conquer/internal/schema"
+	"conquer/internal/sqlparse"
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+func TestTopNBasic(t *testing.T) {
+	_, cust := testTables(t)
+	top, err := NewTopN(NewScan(cust, "c"), []SortKey{SortKeyPos(3, true)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][3].AsFloat() != 30000 || rows[1][3].AsFloat() != 27000 {
+		t.Errorf("top-2 by balance desc: %v, %v", rows[0][3], rows[1][3])
+	}
+	if top.Describe() != "TopN(2; #4 DESC)" {
+		t.Errorf("Describe = %q", top.Describe())
+	}
+}
+
+func TestTopNLargerThanInput(t *testing.T) {
+	_, cust := testTables(t)
+	top, err := NewTopN(NewScan(cust, "c"), []SortKey{SortKeyPos(0, false)}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want all 4", len(rows))
+	}
+}
+
+func TestTopNErrors(t *testing.T) {
+	_, cust := testTables(t)
+	if _, err := NewTopN(NewScan(cust, "c"), []SortKey{SortKeyPos(0, false)}, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NewTopN(NewScan(cust, "c"), []SortKey{SortKeyPos(99, false)}, 1); err == nil {
+		t.Error("bad position should fail")
+	}
+	if _, err := NewTopN(NewScan(cust, "c"), []SortKey{SortKeyExpr(expr(t, "c.ghost"), false)}, 1); err == nil {
+		t.Error("bad expression should fail")
+	}
+}
+
+// Property: TopN(keys, n) produces exactly the first n rows of a full
+// stable Sort over the same keys, on random data with duplicate keys and
+// NULLs.
+func TestTopNMatchesSortLimitProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	s := schema.MustRelation("t",
+		schema.Column{Name: "a", Type: value.KindInt},
+		schema.Column{Name: "b", Type: value.KindInt},
+	)
+	for trial := 0; trial < 50; trial++ {
+		tb := storage.NewTable(s.Clone())
+		nRows := 1 + rng.Intn(60)
+		for i := 0; i < nRows; i++ {
+			var a value.Value
+			if rng.Intn(6) == 0 {
+				a = value.Null()
+			} else {
+				a = value.Int(int64(rng.Intn(5)))
+			}
+			tb.MustInsert(a, value.Int(int64(i)))
+		}
+		keys := []SortKey{
+			SortKeyPos(0, rng.Intn(2) == 0),
+			SortKeyPos(1, rng.Intn(2) == 0),
+		}
+		n := 1 + rng.Intn(nRows+5)
+
+		srt, err := NewSort(NewScan(tb, "t"), keys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Collect(NewLimit(srt, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		top, err := NewTopN(NewScan(tb, "t"), keys, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounded, err := Collect(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full) != len(bounded) {
+			t.Fatalf("trial %d: %d vs %d rows", trial, len(full), len(bounded))
+		}
+		for i := range full {
+			if !value.RowsIdentical(full[i], bounded[i]) {
+				t.Fatalf("trial %d row %d: %v vs %v (n=%d)", trial, i, full[i], bounded[i], n)
+			}
+		}
+	}
+}
+
+// TopN is stable: ties preserve input order, exactly like Sort.
+func TestTopNStability(t *testing.T) {
+	s := schema.MustRelation("t",
+		schema.Column{Name: "k", Type: value.KindInt},
+		schema.Column{Name: "seq", Type: value.KindInt},
+	)
+	tb := storage.NewTable(s)
+	for i := 0; i < 10; i++ {
+		tb.MustInsert(value.Int(1), value.Int(int64(i))) // all tie on k
+	}
+	top, err := NewTopN(NewScan(tb, "t"), []SortKey{SortKeyPos(0, false)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r[1].AsInt() != int64(i) {
+			t.Fatalf("stability violated: %v", rows)
+		}
+	}
+}
+
+func TestTopNExprKeys(t *testing.T) {
+	_, cust := testTables(t)
+	top, err := NewTopN(NewScan(cust, "c"),
+		[]SortKey{SortKeyExpr(mustExpr(t, "c.balance * -1"), false)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][3].AsFloat() != 30000 {
+		t.Errorf("expression key: %v", rows[0])
+	}
+}
+
+func mustExpr(t *testing.T, src string) sqlparse.Expr {
+	t.Helper()
+	return expr(t, src+" = 0").(*sqlparse.BinaryExpr).L
+}

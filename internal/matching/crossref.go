@@ -1,0 +1,108 @@
+package matching
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+// The paper (§2.1) notes that commercial matchers expose their clustering
+// in one of two ways: "some tools, like WebSphere QualityStage, output
+// cross-reference tables that indicate which tuples are associated with
+// which cluster", while others overwrite key values. This file supports
+// the first interface, so externally produced clusterings plug straight
+// into the pipeline.
+
+// CrossRef is a matcher-produced cross-reference: original tuple key ->
+// cluster identifier.
+type CrossRef struct {
+	entries map[string]string
+	order   []string
+}
+
+// NewCrossRef returns an empty cross-reference.
+func NewCrossRef() *CrossRef {
+	return &CrossRef{entries: make(map[string]string)}
+}
+
+// Add records that the tuple with the given original key belongs to
+// cluster id. Re-adding a key overwrites its cluster.
+func (x *CrossRef) Add(key, cluster string) {
+	if _, ok := x.entries[key]; !ok {
+		x.order = append(x.order, key)
+	}
+	x.entries[key] = cluster
+}
+
+// Len returns the number of mapped keys.
+func (x *CrossRef) Len() int { return len(x.entries) }
+
+// Lookup returns the cluster of a key.
+func (x *CrossRef) Lookup(key string) (string, bool) {
+	c, ok := x.entries[key]
+	return c, ok
+}
+
+// ReadCrossRefCSV parses a two-column cross-reference file with a header
+// row; the first column is the tuple key, the second the cluster
+// identifier. Extra columns are ignored.
+func ReadCrossRefCSV(r io.Reader) (*CrossRef, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	if _, err := cr.Read(); err != nil {
+		return nil, fmt.Errorf("matching: reading cross-reference header: %w", err)
+	}
+	x := NewCrossRef()
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return x, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("matching: reading cross-reference: %w", err)
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("matching: cross-reference row needs key and cluster, got %v", rec)
+		}
+		x.Add(strings.TrimSpace(rec[0]), strings.TrimSpace(rec[1]))
+	}
+}
+
+// Apply writes the cross-reference's cluster identifiers into the
+// identifier column of a dirty table, joining on keyCol. Every table row
+// must be mapped; unmapped rows are reported as an error, because a tuple
+// without a cluster has no place in the dirty-database model (singleton
+// tuples must still appear in the cross-reference, as their own
+// clusters). It returns the number of distinct clusters assigned.
+func (x *CrossRef) Apply(tb *storage.Table, keyCol string) (int, error) {
+	rel := tb.Schema
+	idIdx := rel.IdentifierIndex()
+	if idIdx < 0 {
+		return 0, fmt.Errorf("matching: relation %s has no identifier column", rel.Name)
+	}
+	keyIdx := rel.ColumnIndex(keyCol)
+	if keyIdx < 0 {
+		return 0, fmt.Errorf("matching: relation %s has no column %q", rel.Name, keyCol)
+	}
+	idCol := rel.Columns[idIdx].Name
+	clusters := make(map[string]bool)
+	for i := 0; i < tb.Len(); i++ {
+		key := tb.Row(i)[keyIdx]
+		if key.IsNull() {
+			return 0, fmt.Errorf("matching: %s row %d has NULL key", rel.Name, i)
+		}
+		cluster, ok := x.Lookup(key.String())
+		if !ok {
+			return 0, fmt.Errorf("matching: %s row %d key %q not in cross-reference", rel.Name, i, key)
+		}
+		if err := tb.UpdateColumn(i, idCol, value.Str(cluster)); err != nil {
+			return 0, err
+		}
+		clusters[cluster] = true
+	}
+	return len(clusters), nil
+}

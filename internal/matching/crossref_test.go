@@ -1,0 +1,131 @@
+package matching
+
+import (
+	"strings"
+	"testing"
+
+	"conquer/internal/schema"
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+func crossRefTable(t *testing.T) *storage.Table {
+	t.Helper()
+	s := schema.MustRelation("people",
+		schema.Column{Name: "key", Type: value.KindString},
+		schema.Column{Name: "name", Type: value.KindString},
+	)
+	if err := s.SetDirty("id", "prob"); err != nil {
+		t.Fatal(err)
+	}
+	tb := storage.NewTable(s)
+	tb.MustInsert(value.Str("k1"), value.Str("John"), value.Null(), value.Null())
+	tb.MustInsert(value.Str("k2"), value.Str("Jon"), value.Null(), value.Null())
+	tb.MustInsert(value.Str("k3"), value.Str("Mary"), value.Null(), value.Null())
+	return tb
+}
+
+func TestCrossRefBasics(t *testing.T) {
+	x := NewCrossRef()
+	x.Add("k1", "c1")
+	x.Add("k2", "c1")
+	x.Add("k1", "c9") // overwrite
+	if x.Len() != 2 {
+		t.Errorf("Len = %d", x.Len())
+	}
+	if c, ok := x.Lookup("k1"); !ok || c != "c9" {
+		t.Errorf("Lookup(k1) = %q, %v", c, ok)
+	}
+	if _, ok := x.Lookup("ghost"); ok {
+		t.Error("missing key")
+	}
+}
+
+func TestReadCrossRefCSV(t *testing.T) {
+	src := "key,cluster\nk1,c1\nk2, c1 \nk3,c2\n"
+	x, err := ReadCrossRefCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 3 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	if c, _ := x.Lookup("k2"); c != "c1" {
+		t.Errorf("whitespace should be trimmed, got %q", c)
+	}
+	// Errors.
+	if _, err := ReadCrossRefCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail (no header)")
+	}
+	if _, err := ReadCrossRefCSV(strings.NewReader("key,cluster\nk1\n")); err == nil {
+		t.Error("short row should fail")
+	}
+}
+
+func TestCrossRefApply(t *testing.T) {
+	tb := crossRefTable(t)
+	x := NewCrossRef()
+	x.Add("k1", "c1")
+	x.Add("k2", "c1")
+	x.Add("k3", "c2")
+	n, err := x.Apply(tb, "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("clusters = %d", n)
+	}
+	if tb.Row(0)[2].AsString() != "c1" || tb.Row(1)[2].AsString() != "c1" || tb.Row(2)[2].AsString() != "c2" {
+		t.Errorf("identifiers: %v %v %v", tb.Row(0)[2], tb.Row(1)[2], tb.Row(2)[2])
+	}
+}
+
+func TestCrossRefApplyErrors(t *testing.T) {
+	tb := crossRefTable(t)
+	x := NewCrossRef()
+	x.Add("k1", "c1")
+	// Unmapped rows are an error: every tuple needs a cluster.
+	if _, err := x.Apply(tb, "key"); err == nil {
+		t.Error("unmapped key should fail")
+	}
+	if _, err := x.Apply(tb, "ghost"); err == nil {
+		t.Error("unknown key column should fail")
+	}
+	clean := storage.NewTable(schema.MustRelation("c", schema.Column{Name: "a", Type: value.KindString}))
+	if _, err := x.Apply(clean, "a"); err == nil {
+		t.Error("clean relation should fail")
+	}
+	// NULL key.
+	tb2 := crossRefTable(t)
+	if err := tb2.UpdateColumn(0, "key", value.Null()); err != nil {
+		t.Fatal(err)
+	}
+	x2 := NewCrossRef()
+	x2.Add("k2", "c1")
+	x2.Add("k3", "c1")
+	if _, err := x2.Apply(tb2, "key"); err == nil {
+		t.Error("NULL key should fail")
+	}
+}
+
+// End-to-end: a cross-reference-driven clustering flows into probability
+// assignment and clean answers, mirroring the WebSphere-style integration
+// the paper describes.
+func TestCrossRefPipeline(t *testing.T) {
+	tb := crossRefTable(t)
+	x, err := ReadCrossRefCSV(strings.NewReader("key,cluster\nk1,c1\nk2,c1\nk3,c2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Apply(tb, "key"); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster structure is now queryable: c1 holds two tuples.
+	count := map[string]int{}
+	for _, r := range tb.Rows() {
+		count[r[2].AsString()]++
+	}
+	if count["c1"] != 2 || count["c2"] != 1 {
+		t.Errorf("cluster sizes: %v", count)
+	}
+}

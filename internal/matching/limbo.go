@@ -1,0 +1,102 @@
+package matching
+
+import (
+	"math"
+
+	"conquer/internal/probcalc"
+	"conquer/internal/storage"
+)
+
+// LIMBO-style agglomerative clustering (Andritsos, Tsaparas, Miller,
+// Sevcik — EDBT 2004), the categorical clustering framework the paper's
+// §4 builds on: tuples are summarized as Distributional Cluster Features
+// and greedily merged by minimum information loss δI. This gives the
+// pipeline a matcher that speaks the same information-theoretic language
+// as the probability computation — categorical data clusters without any
+// string-distance tuning.
+
+// LIMBOResult is the output of LIMBOCluster.
+type LIMBOResult struct {
+	// Assignment maps each tuple index to its 0-based dense cluster id.
+	Assignment []int
+	// Clusters is the number of clusters formed.
+	Clusters int
+	// TotalLoss is the cumulative information loss of all merges
+	// performed; it grows as clustering coarsens.
+	TotalLoss float64
+}
+
+// LIMBOCluster agglomeratively clusters the dataset's tuples: starting
+// from singletons, it repeatedly merges the pair of clusters with the
+// smallest information loss δI, stopping when k clusters remain (k >= 1)
+// or when the cheapest merge would lose more than maxLoss bits
+// (maxLoss <= 0 disables the threshold). The procedure is O(n³) in the
+// number of tuples — LIMBO proper adds a summarization tree to scale;
+// here blocks are expected to be small, as in the matcher.
+func LIMBOCluster(ds *probcalc.Dataset, k int, maxLoss float64) LIMBOResult {
+	n := ds.Len()
+	res := LIMBOResult{Assignment: make([]int, n)}
+	if n == 0 {
+		return res
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	type clusterState struct {
+		dcf     probcalc.DCF
+		members []int
+	}
+	active := make([]*clusterState, 0, n)
+	for i := 0; i < n; i++ {
+		active = append(active, &clusterState{dcf: ds.SingletonDCF(i), members: []int{i}})
+	}
+
+	total := float64(n)
+	for len(active) > k {
+		// Find the cheapest merge.
+		bi, bj, best := -1, -1, math.Inf(1)
+		for i := 0; i < len(active); i++ {
+			for j := i + 1; j < len(active); j++ {
+				d := probcalc.InformationLoss(active[i].dcf, active[j].dcf, int(total))
+				if d < best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if maxLoss > 0 && best > maxLoss {
+			break
+		}
+		merged := &clusterState{
+			dcf:     probcalc.Merge(active[bi].dcf, active[bj].dcf),
+			members: append(append([]int(nil), active[bi].members...), active[bj].members...),
+		}
+		res.TotalLoss += best
+		// Remove j first (it is the larger index), then i.
+		active = append(active[:bj], active[bj+1:]...)
+		active[bi] = merged
+	}
+
+	for ci, c := range active {
+		for _, m := range c.members {
+			res.Assignment[m] = ci
+		}
+	}
+	res.Clusters = len(active)
+	return res
+}
+
+// MatchTableLIMBO clusters a stored table with LIMBO inside blocks (the
+// same blocking as MatchTable, to bound the O(n³) agglomeration) and
+// writes identifiers prefixed with prefix into the identifier column.
+// maxLoss is the per-merge information-loss threshold; the per-block
+// cluster target is 1 (merge as far as the threshold allows).
+func MatchTableLIMBO(tb *storage.Table, attrCols []string, prefix string, maxLoss float64, blockKey func([]string) string) (int, error) {
+	return matchTableWith(tb, attrCols, prefix, blockKey, func(tuples [][]string, attrs []string) []int {
+		ds := probcalc.NewDataset(attrs)
+		for _, t := range tuples {
+			ds.MustAdd(t...)
+		}
+		return LIMBOCluster(ds, 1, maxLoss).Assignment
+	})
+}

@@ -1,0 +1,158 @@
+package matching
+
+import (
+	"testing"
+
+	"conquer/internal/probcalc"
+	"conquer/internal/schema"
+	"conquer/internal/storage"
+	"conquer/internal/testdb"
+	"conquer/internal/value"
+)
+
+func TestLIMBOClusterFigure6(t *testing.T) {
+	// The §4 customer relation. Greedy δI merging must group the
+	// strongly-overlapping pairs: the two Marys (three shared values) and
+	// the two Arrow Johns (two shared values), and must not collapse
+	// either pair into the other. (The weakly-attached Marion tuple is
+	// genuinely ambiguous — it shares only one value with each candidate
+	// cluster — so its placement is not asserted; the paper's c1 label for
+	// it came from an external matcher, not from LIMBO.)
+	attrs, tuples, _ := testdb.Figure6Tuples()
+	ds := probcalc.NewDataset(attrs)
+	for _, tp := range tuples {
+		ds.MustAdd(tp...)
+	}
+	res := LIMBOCluster(ds, 3, 0)
+	if res.Clusters != 3 {
+		t.Fatalf("clusters = %d", res.Clusters)
+	}
+	a := res.Assignment
+	if a[0] != a[1] {
+		t.Errorf("t1 and t2 (the Marys) should cluster together: %v", a)
+	}
+	if a[3] != a[4] {
+		t.Errorf("t4 and t5 (the Arrow Johns) should cluster together: %v", a)
+	}
+	if a[0] == a[3] {
+		t.Errorf("the Marys and the Johns must stay apart: %v", a)
+	}
+	if res.TotalLoss <= 0 {
+		t.Error("merging distinct tuples must lose information")
+	}
+}
+
+func TestLIMBOClusterStopsAtThreshold(t *testing.T) {
+	ds := probcalc.NewDataset([]string{"a"})
+	ds.MustAdd("x")
+	ds.MustAdd("x")
+	ds.MustAdd("completely-different")
+	// Merging the two identical tuples costs 0; merging in the third
+	// costs > 0. A tiny threshold keeps it separate.
+	res := LIMBOCluster(ds, 1, 1e-9)
+	if res.Clusters != 2 {
+		t.Fatalf("threshold should stop at 2 clusters, got %d", res.Clusters)
+	}
+	if res.Assignment[0] != res.Assignment[1] || res.Assignment[0] == res.Assignment[2] {
+		t.Errorf("assignment = %v", res.Assignment)
+	}
+	// Without a threshold everything merges down to k.
+	res = LIMBOCluster(ds, 1, 0)
+	if res.Clusters != 1 {
+		t.Errorf("k=1 without threshold should merge all, got %d", res.Clusters)
+	}
+}
+
+func TestLIMBOClusterDegenerate(t *testing.T) {
+	ds := probcalc.NewDataset([]string{"a"})
+	res := LIMBOCluster(ds, 1, 0)
+	if res.Clusters != 0 || len(res.Assignment) != 0 {
+		t.Errorf("empty dataset: %+v", res)
+	}
+	ds.MustAdd("x")
+	res = LIMBOCluster(ds, 0, 0) // k < 1 clamps to 1
+	if res.Clusters != 1 || res.Assignment[0] != 0 {
+		t.Errorf("single tuple: %+v", res)
+	}
+}
+
+func TestMatchTableLIMBO(t *testing.T) {
+	s := schema.MustRelation("people",
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "city", Type: value.KindString},
+	)
+	if err := s.SetDirty("id", "prob"); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	tb := db.MustCreateTable(s)
+	rows := [][]string{
+		{"John", "Toronto"},
+		{"John", "Toronto"}, // identical: zero merge cost
+		{"Mary", "Ottawa"},
+	}
+	for _, r := range rows {
+		tb.MustInsert(value.Str(r[0]), value.Str(r[1]), value.Null(), value.Null())
+	}
+	// All in one block; small threshold separates John from Mary.
+	n, err := MatchTableLIMBO(tb, nil, "L", 1e-9, func([]string) string { return "all" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("clusters = %d, want 2", n)
+	}
+	if tb.Row(0)[2].AsString() != tb.Row(1)[2].AsString() {
+		t.Error("identical tuples should share a LIMBO cluster")
+	}
+	if tb.Row(0)[2].AsString() == tb.Row(2)[2].AsString() {
+		t.Error("Mary should be separate")
+	}
+	// Default blocking (first two letters) also keeps John/Mary apart.
+	n, err = MatchTableLIMBO(tb, nil, "M", 1e-9, nil)
+	if err != nil || n != 2 {
+		t.Errorf("default blocking: n=%d err=%v", n, err)
+	}
+	// Errors propagate.
+	clean := storage.NewTable(schema.MustRelation("c", schema.Column{Name: "a", Type: value.KindString}))
+	if _, err := MatchTableLIMBO(clean, nil, "L", 0, nil); err == nil {
+		t.Error("clean relation should fail")
+	}
+}
+
+// The LIMBO matcher composes with the §4 probability assignment: a full
+// information-theoretic pipeline with no string-distance tuning anywhere.
+func TestLIMBOPipeline(t *testing.T) {
+	s := schema.MustRelation("customer",
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "mktsegment", Type: value.KindString},
+		schema.Column{Name: "nation", Type: value.KindString},
+		schema.Column{Name: "address", Type: value.KindString},
+	)
+	if err := s.SetDirty("id", "prob"); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	tb := db.MustCreateTable(s)
+	_, tuples, _ := testdb.Figure6Tuples()
+	for _, tp := range tuples {
+		tb.MustInsert(value.Str(tp[0]), value.Str(tp[1]), value.Str(tp[2]), value.Str(tp[3]),
+			value.Null(), value.Null())
+	}
+	if _, err := MatchTableLIMBO(tb, nil, "c", 0.06, func([]string) string { return "all" }); err != nil {
+		t.Fatal(err)
+	}
+	if err := probcalc.AnnotateTable(tb, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Whatever the clustering, the output is a valid dirty relation.
+	sums := map[string]float64{}
+	for _, r := range tb.Rows() {
+		sums[r[4].AsString()] += r[5].AsFloat()
+	}
+	for cid, p := range sums {
+		if p < 1-1e-6 || p > 1+1e-6 {
+			t.Errorf("cluster %s probabilities sum to %v", cid, p)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package matching
+
+import (
+	"testing"
+
+	"conquer/internal/schema"
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+func TestClusterGroupsNearDuplicates(t *testing.T) {
+	tuples := [][]string{
+		{"John Smith", "Toronto"},
+		{"Jon Smith", "Toronto"},   // typo of 0
+		{"John Smith", "Torontoo"}, // typo of 0
+		{"Mary Jones", "Ottawa"},
+		{"Mary Jone", "Ottawa"}, // typo of 3
+		{"Zed Zulu", "Calgary"},
+	}
+	got := Cluster(tuples, Config{})
+	if got[0] != got[1] || got[0] != got[2] {
+		t.Errorf("John variants should cluster together: %v", got)
+	}
+	if got[3] != got[4] {
+		t.Errorf("Mary variants should cluster together: %v", got)
+	}
+	if got[0] == got[3] || got[0] == got[5] || got[3] == got[5] {
+		t.Errorf("distinct entities should stay apart: %v", got)
+	}
+	// Dense ids starting at 0.
+	maxID := 0
+	for _, c := range got {
+		if c > maxID {
+			maxID = c
+		}
+	}
+	if maxID != 2 {
+		t.Errorf("expected 3 clusters, max id = %d", maxID)
+	}
+}
+
+func TestClusterThreshold(t *testing.T) {
+	tuples := [][]string{
+		{"abcdef"},
+		{"abcxyz"}, // 50% similar
+	}
+	loose := Cluster(tuples, Config{Threshold: 0.4})
+	if loose[0] != loose[1] {
+		t.Error("threshold 0.4 should link half-similar tuples")
+	}
+	strict := Cluster(tuples, Config{Threshold: 0.9})
+	if strict[0] == strict[1] {
+		t.Error("threshold 0.9 should keep them apart")
+	}
+}
+
+func TestClusterBlockingLimitsComparisons(t *testing.T) {
+	// Identical tuples in different blocks never compare.
+	tuples := [][]string{
+		{"aaa same"},
+		{"bbb same"},
+	}
+	got := Cluster(tuples, Config{Threshold: 0.1})
+	if got[0] == got[1] {
+		t.Error("different blocks must not be compared")
+	}
+	// A custom block key joining everything lets them link.
+	joined := Cluster(tuples, Config{
+		Threshold: 0.1,
+		BlockKey:  func([]string) string { return "all" },
+	})
+	if joined[0] != joined[1] {
+		t.Error("shared block with low threshold should link")
+	}
+}
+
+func TestClusterCustomSimilarity(t *testing.T) {
+	tuples := [][]string{{"x"}, {"y"}, {"z"}}
+	all := Cluster(tuples, Config{
+		BlockKey:   func([]string) string { return "b" },
+		Similarity: func(a, b []string) float64 { return 1 },
+	})
+	if all[0] != all[1] || all[1] != all[2] {
+		t.Errorf("always-similar should produce one cluster: %v", all)
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	if got := Cluster(nil, Config{}); len(got) != 0 {
+		t.Errorf("empty input: %v", got)
+	}
+	if got := Cluster([][]string{{}}, Config{}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single empty tuple: %v", got)
+	}
+}
+
+func TestMatchTable(t *testing.T) {
+	s := schema.MustRelation("people",
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "city", Type: value.KindString},
+	)
+	if err := s.SetDirty("id", "prob"); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	tb := db.MustCreateTable(s)
+	rows := [][]string{
+		{"John Smith", "Toronto"},
+		{"Jon Smith", "Toronto"},
+		{"Mary Jones", "Ottawa"},
+	}
+	for _, r := range rows {
+		tb.MustInsert(value.Str(r[0]), value.Str(r[1]), value.Null(), value.Null())
+	}
+	n, err := MatchTable(tb, nil, "p", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("clusters = %d, want 2", n)
+	}
+	if tb.Row(0)[2].AsString() != tb.Row(1)[2].AsString() {
+		t.Error("John variants should share an identifier")
+	}
+	if tb.Row(0)[2].AsString() == tb.Row(2)[2].AsString() {
+		t.Error("Mary should have a different identifier")
+	}
+	if tb.Row(0)[2].AsString() != "p0" {
+		t.Errorf("identifier format: %v", tb.Row(0)[2])
+	}
+	// Column subset.
+	if _, err := MatchTable(tb, []string{"name"}, "q", Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	if _, err := MatchTable(tb, []string{"ghost"}, "p", Config{}); err == nil {
+		t.Error("unknown column should fail")
+	}
+	cleanS := schema.MustRelation("clean", schema.Column{Name: "a", Type: value.KindString})
+	clean := storage.NewTable(cleanS)
+	if _, err := MatchTable(clean, nil, "p", Config{}); err == nil {
+		t.Error("clean relation should fail")
+	}
+}

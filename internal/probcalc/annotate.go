@@ -1,0 +1,86 @@
+package probcalc
+
+import (
+	"fmt"
+
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+// AnnotateAll runs AnnotateTable over every dirty relation of a database
+// — the complete offline probability-annotation pass of Figure 7's
+// pipeline. A nil distance uses InformationLoss everywhere.
+func AnnotateAll(db *storage.DB, d Distance) error {
+	for _, name := range db.TableNames() {
+		tb, _ := db.Table(name)
+		if !tb.Schema.IsDirty() {
+			continue
+		}
+		if err := AnnotateTable(tb, nil, d); err != nil {
+			return fmt.Errorf("annotating %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// AnnotateTable computes tuple probabilities for a dirty table and writes
+// them into its probability column — the "probability calculation" phase
+// the paper times in Figure 7. Clusters come from the table's identifier
+// column; attrCols selects the categorical attributes used to build the
+// summaries (nil means every column except the identifier and probability
+// columns). A nil distance uses InformationLoss. Non-string attribute
+// values are treated as categories via their textual form.
+func AnnotateTable(tb *storage.Table, attrCols []string, d Distance) error {
+	rel := tb.Schema
+	idIdx := rel.IdentifierIndex()
+	probIdx := rel.ProbIndex()
+	if idIdx < 0 || probIdx < 0 {
+		return fmt.Errorf("probcalc: relation %s has no identifier/probability columns", rel.Name)
+	}
+	var cols []int
+	if attrCols == nil {
+		for i := range rel.Columns {
+			if i != idIdx && i != probIdx {
+				cols = append(cols, i)
+			}
+		}
+	} else {
+		for _, name := range attrCols {
+			ci := rel.ColumnIndex(name)
+			if ci < 0 {
+				return fmt.Errorf("probcalc: relation %s has no column %q", rel.Name, name)
+			}
+			cols = append(cols, ci)
+		}
+	}
+
+	attrs := make([]string, len(cols))
+	for i, ci := range cols {
+		attrs[i] = rel.Columns[ci].Name
+	}
+	ds := NewDataset(attrs)
+	clusterIDs := make([]string, tb.Len())
+	vals := make([]string, len(cols))
+	for i := 0; i < tb.Len(); i++ {
+		row := tb.Row(i)
+		for k, ci := range cols {
+			vals[k] = row[ci].String()
+		}
+		if err := ds.Add(vals); err != nil {
+			return err
+		}
+		clusterIDs[i] = row[idIdx].String()
+	}
+
+	assignments, err := AssignProbabilities(ds, clusterIDs, d)
+	if err != nil {
+		return err
+	}
+	probCol := rel.Columns[probIdx].Name
+	for _, a := range assignments {
+		if err := tb.UpdateColumn(a.Row, probCol, value.Float(a.Prob)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package probcalc
+
+import (
+	"fmt"
+
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+// The paper (§1) lists several origins for tuple probabilities besides the
+// clustering-based method of §4: "we could assign probabilities to the
+// sources: the more reliable the source, the higher its probability.
+// Then, we could use provenance information to assign probabilities to
+// the tuples in the integrated database taking their origin into
+// account. In the absence of provenance information, we could just assume
+// uniform probabilities." This file implements those two alternatives.
+
+// AnnotateUniform fills each cluster's probability column with the
+// uniform distribution 1/|cluster| — the no-information default.
+func AnnotateUniform(tb *storage.Table) error {
+	rel := tb.Schema
+	idIdx := rel.IdentifierIndex()
+	probIdx := rel.ProbIndex()
+	if idIdx < 0 || probIdx < 0 {
+		return fmt.Errorf("probcalc: relation %s has no identifier/probability columns", rel.Name)
+	}
+	sizes := make(map[uint64][]sizeEntry)
+	for i := 0; i < tb.Len(); i++ {
+		id := tb.Row(i)[idIdx]
+		h := value.Hash(id)
+		found := false
+		for k := range sizes[h] {
+			if value.Identical(sizes[h][k].id, id) {
+				sizes[h][k].n++
+				found = true
+				break
+			}
+		}
+		if !found {
+			sizes[h] = append(sizes[h], sizeEntry{id: id, n: 1})
+		}
+	}
+	probCol := rel.Columns[probIdx].Name
+	for i := 0; i < tb.Len(); i++ {
+		id := tb.Row(i)[idIdx]
+		for _, e := range sizes[value.Hash(id)] {
+			if value.Identical(e.id, id) {
+				if err := tb.UpdateColumn(i, probCol, value.Float(1/float64(e.n))); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+type sizeEntry struct {
+	id value.Value
+	n  int
+}
+
+// AnnotateBySourceReliability derives tuple probabilities from provenance:
+// sourceCol names the column recording each tuple's source, and
+// reliability maps source names to non-negative weights ("the more
+// reliable the source, the higher its probability"). Within each cluster
+// the weights are normalized to sum to 1. Unknown sources get the
+// defaultWeight; a cluster whose members all weigh zero falls back to the
+// uniform distribution.
+func AnnotateBySourceReliability(tb *storage.Table, sourceCol string, reliability map[string]float64, defaultWeight float64) error {
+	rel := tb.Schema
+	idIdx := rel.IdentifierIndex()
+	probIdx := rel.ProbIndex()
+	if idIdx < 0 || probIdx < 0 {
+		return fmt.Errorf("probcalc: relation %s has no identifier/probability columns", rel.Name)
+	}
+	srcIdx := rel.ColumnIndex(sourceCol)
+	if srcIdx < 0 {
+		return fmt.Errorf("probcalc: relation %s has no column %q", rel.Name, sourceCol)
+	}
+	for _, w := range reliability {
+		if w < 0 {
+			return fmt.Errorf("probcalc: negative source reliability %v", w)
+		}
+	}
+	if defaultWeight < 0 {
+		return fmt.Errorf("probcalc: negative default weight %v", defaultWeight)
+	}
+
+	weight := func(row []value.Value) float64 {
+		sv := row[srcIdx]
+		if sv.IsNull() {
+			return defaultWeight
+		}
+		if w, ok := reliability[sv.String()]; ok {
+			return w
+		}
+		return defaultWeight
+	}
+
+	// Group rows by cluster identifier.
+	type cluster struct {
+		id   value.Value
+		rows []int
+		sum  float64
+	}
+	byHash := map[uint64][]*cluster{}
+	var order []*cluster
+	for i := 0; i < tb.Len(); i++ {
+		id := tb.Row(i)[idIdx]
+		h := value.Hash(id)
+		var c *cluster
+		for _, cand := range byHash[h] {
+			if value.Identical(cand.id, id) {
+				c = cand
+				break
+			}
+		}
+		if c == nil {
+			c = &cluster{id: id}
+			byHash[h] = append(byHash[h], c)
+			order = append(order, c)
+		}
+		c.rows = append(c.rows, i)
+		c.sum += weight(tb.Row(i))
+	}
+
+	probCol := rel.Columns[probIdx].Name
+	for _, c := range order {
+		for _, i := range c.rows {
+			var p float64
+			if c.sum <= 0 {
+				p = 1 / float64(len(c.rows))
+			} else {
+				p = weight(tb.Row(i)) / c.sum
+			}
+			if err := tb.UpdateColumn(i, probCol, value.Float(p)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package probcalc
+
+import (
+	"testing"
+
+	"conquer/internal/schema"
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+func sourceTable(t *testing.T) *storage.Table {
+	t.Helper()
+	s := schema.MustRelation("cust",
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "src", Type: value.KindString},
+	)
+	if err := s.SetDirty("id", "prob"); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDB()
+	tb := db.MustCreateTable(s)
+	tb.MustInsert(value.Str("John"), value.Str("crm"), value.Str("c1"), value.Null())
+	tb.MustInsert(value.Str("Jon"), value.Str("legacy"), value.Str("c1"), value.Null())
+	tb.MustInsert(value.Str("Johny"), value.Str("web"), value.Str("c1"), value.Null())
+	tb.MustInsert(value.Str("Mary"), value.Str("crm"), value.Str("c2"), value.Null())
+	return tb
+}
+
+func TestAnnotateUniform(t *testing.T) {
+	tb := sourceTable(t)
+	if err := AnnotateUniform(tb); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := tb.Row(i)[3].AsFloat(); !approx(got, 1.0/3, 1e-12) {
+			t.Errorf("row %d uniform prob = %v", i, got)
+		}
+	}
+	if got := tb.Row(3)[3].AsFloat(); got != 1 {
+		t.Errorf("singleton prob = %v", got)
+	}
+	clean := storage.NewTable(schema.MustRelation("c", schema.Column{Name: "a", Type: value.KindString}))
+	if err := AnnotateUniform(clean); err == nil {
+		t.Error("clean relation should fail")
+	}
+}
+
+func TestAnnotateBySourceReliability(t *testing.T) {
+	tb := sourceTable(t)
+	rel := map[string]float64{"crm": 3, "legacy": 1} // web unknown -> default
+	if err := AnnotateBySourceReliability(tb, "src", rel, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster c1 weights: crm 3, legacy 1, web 1 (default) -> 0.6/0.2/0.2.
+	want := []float64{0.6, 0.2, 0.2, 1.0}
+	for i, w := range want {
+		if got := tb.Row(i)[3].AsFloat(); !approx(got, w, 1e-12) {
+			t.Errorf("row %d prob = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestAnnotateBySourceReliabilityZeroCluster(t *testing.T) {
+	tb := sourceTable(t)
+	// All sources weigh zero: fall back to uniform.
+	if err := AnnotateBySourceReliability(tb, "src", map[string]float64{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := tb.Row(i)[3].AsFloat(); !approx(got, 1.0/3, 1e-12) {
+			t.Errorf("zero-weight cluster should be uniform, row %d = %v", i, got)
+		}
+	}
+}
+
+func TestAnnotateBySourceReliabilityNullSource(t *testing.T) {
+	tb := sourceTable(t)
+	if err := tb.UpdateColumn(0, "src", value.Null()); err != nil {
+		t.Fatal(err)
+	}
+	if err := AnnotateBySourceReliability(tb, "src", map[string]float64{"legacy": 1, "web": 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// NULL source takes the default weight 2: c1 = 2/(2+1+1) = 0.5.
+	if got := tb.Row(0)[3].AsFloat(); !approx(got, 0.5, 1e-12) {
+		t.Errorf("NULL-source prob = %v, want 0.5", got)
+	}
+}
+
+func TestAnnotateBySourceReliabilityErrors(t *testing.T) {
+	tb := sourceTable(t)
+	if err := AnnotateBySourceReliability(tb, "ghost", nil, 1); err == nil {
+		t.Error("unknown source column should fail")
+	}
+	if err := AnnotateBySourceReliability(tb, "src", map[string]float64{"crm": -1}, 1); err == nil {
+		t.Error("negative reliability should fail")
+	}
+	if err := AnnotateBySourceReliability(tb, "src", nil, -1); err == nil {
+		t.Error("negative default weight should fail")
+	}
+	clean := storage.NewTable(schema.MustRelation("c", schema.Column{Name: "a", Type: value.KindString}))
+	if err := AnnotateBySourceReliability(clean, "a", nil, 1); err == nil {
+		t.Error("clean relation should fail")
+	}
+}
+
+// Whatever the assignment method, the result is a valid per-cluster
+// probability function usable by the dirty-database layer.
+func TestSourceAssignmentsSumToOne(t *testing.T) {
+	for name, annotate := range map[string]func(*storage.Table) error{
+		"uniform": AnnotateUniform,
+		"sources": func(tb *storage.Table) error {
+			return AnnotateBySourceReliability(tb, "src", map[string]float64{"crm": 5, "web": 2}, 1)
+		},
+	} {
+		tb := sourceTable(t)
+		if err := annotate(tb); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sums := map[string]float64{}
+		for _, r := range tb.Rows() {
+			sums[r[2].AsString()] += r[3].AsFloat()
+		}
+		for cid, s := range sums {
+			if !approx(s, 1, 1e-9) {
+				t.Errorf("%s: cluster %s sums to %v", name, cid, s)
+			}
+		}
+	}
+}

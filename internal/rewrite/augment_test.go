@@ -1,0 +1,68 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"conquer/internal/sqlparse"
+)
+
+func TestAugmentAndRewriteAddsRootIdentifier(t *testing.T) {
+	cat := fig2Catalog()
+	// Example 7's query: only condition 4 is violated.
+	stmt := sqlparse.MustParse(
+		"select c.id from orders o, customer c where o.quantity < 5 and o.cidfk = c.id and c.balance > 25000")
+	rw, augmented, err := AugmentAndRewrite(cat, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !augmented {
+		t.Fatal("q3 should require augmentation")
+	}
+	sql := rw.SQL()
+	if !strings.HasPrefix(sql, "SELECT o.id, c.id") {
+		t.Errorf("root identifier should be prepended: %s", sql)
+	}
+	if !strings.Contains(sql, "GROUP BY o.id, c.id") {
+		t.Errorf("group by should cover the augmented list: %s", sql)
+	}
+	// The input statement is untouched.
+	if strings.Contains(stmt.SQL(), "o.id") {
+		t.Error("AugmentAndRewrite must not mutate its input")
+	}
+}
+
+func TestAugmentAndRewritePassThrough(t *testing.T) {
+	cat := fig2Catalog()
+	stmt := sqlparse.MustParse("select id from customer where balance > 10000")
+	rw, augmented, err := AugmentAndRewrite(cat, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if augmented {
+		t.Error("already rewritable query should not be augmented")
+	}
+	if !strings.Contains(rw.SQL(), "SUM(customer.prob)") {
+		t.Errorf("rewriting: %s", rw.SQL())
+	}
+}
+
+func TestAugmentAndRewriteCannotFixOtherConditions(t *testing.T) {
+	cat := fig2Catalog()
+	// Non-identifier join: condition 1 violated; augmentation cannot help.
+	stmt := sqlparse.MustParse(
+		"select o.id from orders o, customer c where o.orderid = c.custid")
+	if _, _, err := AugmentAndRewrite(cat, stmt); err == nil {
+		t.Error("condition-1 violation must still fail")
+	}
+	// Disconnected graph.
+	stmt = sqlparse.MustParse("select o.id, c.id from orders o, customer c")
+	if _, _, err := AugmentAndRewrite(cat, stmt); err == nil {
+		t.Error("disconnected graph must still fail")
+	}
+	// Bad SQL-level input propagates the analyze error.
+	stmt = sqlparse.MustParse("select ghost from customer")
+	if _, _, err := AugmentAndRewrite(cat, stmt); err == nil {
+		t.Error("unknown column must fail")
+	}
+}

@@ -1,0 +1,518 @@
+// Package sqlparse implements the SQL front end: a lexer, a
+// recursive-descent parser and an AST with a pretty-printer, covering the
+// select-project-join subset the paper's rewriting operates on:
+//
+//	SELECT [DISTINCT] expr [AS alias], ...
+//	FROM table [alias], ...
+//	WHERE conjunctions/disjunctions of comparisons, IN, BETWEEN, LIKE, IS NULL
+//	GROUP BY exprs
+//	ORDER BY expr [ASC|DESC], ...
+//	LIMIT n
+//
+// The printer emits SQL that re-parses to the same tree; the rewriting
+// package relies on this to hand rewritten queries back as ordinary SQL
+// text, exactly as the paper's RewriteClean does.
+package sqlparse
+
+import (
+	"strings"
+
+	"conquer/internal/value"
+)
+
+// SelectStmt is a parsed SELECT statement.
+type SelectStmt struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []TableRef
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one projection in the select list.
+type SelectItem struct {
+	Star  bool   // SELECT * (Expr is nil)
+	Expr  Expr   // nil iff Star
+	Alias string // optional AS alias
+}
+
+// TableRef names a relation in the FROM clause, optionally aliased.
+type TableRef struct {
+	Table string
+	Alias string // equals Table when no alias was written
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is a scalar or boolean expression node.
+type Expr interface {
+	// SQL renders the expression as parseable SQL text.
+	SQL() string
+	exprNode()
+}
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators in increasing precedence groups.
+const (
+	OpOr BinOp = iota
+	OpAnd
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinOp) String() string {
+	switch op {
+	case OpOr:
+		return "OR"
+	case OpAnd:
+		return "AND"
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return "?"
+	}
+}
+
+func (op BinOp) precedence() int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	case OpMul, OpDiv:
+		return 5
+	default:
+		return 0
+	}
+}
+
+// IsComparison reports whether op is one of =, <>, <, <=, >, >=.
+func (op BinOp) IsComparison() bool { return op >= OpEq && op <= OpGe }
+
+// ColumnRef references a column, optionally qualified by a table alias.
+type ColumnRef struct {
+	Qualifier string // may be empty
+	Name      string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val value.Value
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// NotExpr is logical negation.
+type NotExpr struct {
+	X Expr
+}
+
+// NegExpr is arithmetic negation.
+type NegExpr struct {
+	X Expr
+}
+
+// FuncCall is a function or aggregate call; Star marks COUNT(*).
+type FuncCall struct {
+	Name string // upper-cased
+	Star bool
+	Args []Expr
+}
+
+// InExpr is `x [NOT] IN (v1, v2, ...)` over a literal list.
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// BetweenExpr is `x [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// LikeExpr is `x [NOT] LIKE 'pattern'` with % and _ wildcards.
+type LikeExpr struct {
+	X       Expr
+	Pattern string
+	Not     bool
+}
+
+// IsNullExpr is `x IS [NOT] NULL`.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+func (*ColumnRef) exprNode()   {}
+func (*Literal) exprNode()     {}
+func (*BinaryExpr) exprNode()  {}
+func (*NotExpr) exprNode()     {}
+func (*NegExpr) exprNode()     {}
+func (*FuncCall) exprNode()    {}
+func (*InExpr) exprNode()      {}
+func (*BetweenExpr) exprNode() {}
+func (*LikeExpr) exprNode()    {}
+func (*IsNullExpr) exprNode()  {}
+
+// SQL renders the column reference.
+func (e *ColumnRef) SQL() string {
+	if e.Qualifier != "" {
+		return e.Qualifier + "." + e.Name
+	}
+	return e.Name
+}
+
+// SQL renders the literal; strings are single-quoted with ” escaping.
+func (e *Literal) SQL() string {
+	if e.Val.Kind() == value.KindString {
+		return "'" + strings.ReplaceAll(e.Val.AsString(), "'", "''") + "'"
+	}
+	return e.Val.String()
+}
+
+// SQL renders the binary expression, parenthesizing children of lower
+// precedence so the output re-parses to the same tree.
+func (e *BinaryExpr) SQL() string {
+	l := e.wrap(e.L, false)
+	r := e.wrap(e.R, true)
+	return l + " " + e.Op.String() + " " + r
+}
+
+func (e *BinaryExpr) wrap(child Expr, right bool) string {
+	s := child.SQL()
+	cb, ok := child.(*BinaryExpr)
+	if !ok {
+		// Non-binary children bind tighter than every binary operator,
+		// except constructs like IN/BETWEEN under arithmetic, which cannot
+		// appear there type-wise; leave them bare.
+		return s
+	}
+	cp, p := cb.Op.precedence(), e.Op.precedence()
+	if cp < p || (cp == p && right) {
+		return "(" + s + ")"
+	}
+	return s
+}
+
+// SQL renders NOT x.
+func (e *NotExpr) SQL() string { return "NOT (" + e.X.SQL() + ")" }
+
+// SQL renders -x.
+func (e *NegExpr) SQL() string {
+	if _, ok := e.X.(*BinaryExpr); ok {
+		return "-(" + e.X.SQL() + ")"
+	}
+	return "-" + e.X.SQL()
+}
+
+// SQL renders the call.
+func (e *FuncCall) SQL() string {
+	if e.Star {
+		return e.Name + "(*)"
+	}
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.SQL()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// SQL renders the IN list.
+func (e *InExpr) SQL() string {
+	items := make([]string, len(e.List))
+	for i, it := range e.List {
+		items[i] = it.SQL()
+	}
+	not := ""
+	if e.Not {
+		not = " NOT"
+	}
+	return e.X.SQL() + not + " IN (" + strings.Join(items, ", ") + ")"
+}
+
+// SQL renders the BETWEEN range.
+func (e *BetweenExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = " NOT"
+	}
+	return e.X.SQL() + not + " BETWEEN " + e.Lo.SQL() + " AND " + e.Hi.SQL()
+}
+
+// SQL renders the LIKE predicate.
+func (e *LikeExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = " NOT"
+	}
+	return e.X.SQL() + not + " LIKE '" + strings.ReplaceAll(e.Pattern, "'", "''") + "'"
+}
+
+// SQL renders the IS NULL test.
+func (e *IsNullExpr) SQL() string {
+	if e.Not {
+		return e.X.SQL() + " IS NOT NULL"
+	}
+	return e.X.SQL() + " IS NULL"
+}
+
+// SQL renders the whole statement as parseable SQL.
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteByte('*')
+			continue
+		}
+		b.WriteString(it.Expr.SQL())
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(it.Alias)
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, tr := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(tr.Table)
+		if tr.Alias != "" && tr.Alias != tr.Table {
+			b.WriteByte(' ')
+			b.WriteString(tr.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.SQL())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.SQL())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(intToString(s.Limit))
+	}
+	return b.String()
+}
+
+func intToString(n int) string {
+	return value.Int(int64(n)).String()
+}
+
+// Clone returns a deep copy of the statement; the rewriting layer mutates
+// clones rather than caller-owned trees.
+func (s *SelectStmt) Clone() *SelectStmt {
+	c := &SelectStmt{
+		Distinct: s.Distinct,
+		Limit:    s.Limit,
+	}
+	for _, it := range s.Select {
+		c.Select = append(c.Select, SelectItem{Star: it.Star, Expr: CloneExpr(it.Expr), Alias: it.Alias})
+	}
+	c.From = append([]TableRef(nil), s.From...)
+	c.Where = CloneExpr(s.Where)
+	for _, g := range s.GroupBy {
+		c.GroupBy = append(c.GroupBy, CloneExpr(g))
+	}
+	c.Having = CloneExpr(s.Having)
+	for _, o := range s.OrderBy {
+		c.OrderBy = append(c.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+	}
+	return c
+}
+
+// CloneExpr deep-copies an expression tree; nil maps to nil.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		cp := *e
+		return &cp
+	case *Literal:
+		cp := *e
+		return &cp
+	case *BinaryExpr:
+		return &BinaryExpr{Op: e.Op, L: CloneExpr(e.L), R: CloneExpr(e.R)}
+	case *NotExpr:
+		return &NotExpr{X: CloneExpr(e.X)}
+	case *NegExpr:
+		return &NegExpr{X: CloneExpr(e.X)}
+	case *FuncCall:
+		c := &FuncCall{Name: e.Name, Star: e.Star}
+		for _, a := range e.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
+	case *InExpr:
+		c := &InExpr{X: CloneExpr(e.X), Not: e.Not}
+		for _, it := range e.List {
+			c.List = append(c.List, CloneExpr(it))
+		}
+		return c
+	case *BetweenExpr:
+		return &BetweenExpr{X: CloneExpr(e.X), Lo: CloneExpr(e.Lo), Hi: CloneExpr(e.Hi), Not: e.Not}
+	case *LikeExpr:
+		return &LikeExpr{X: CloneExpr(e.X), Pattern: e.Pattern, Not: e.Not}
+	case *IsNullExpr:
+		return &IsNullExpr{X: CloneExpr(e.X), Not: e.Not}
+	default:
+		panic("sqlparse: CloneExpr: unknown node")
+	}
+}
+
+// WalkExpr calls fn on e and every sub-expression, pre-order. fn returning
+// false prunes the subtree.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch e := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(e.L, fn)
+		WalkExpr(e.R, fn)
+	case *NotExpr:
+		WalkExpr(e.X, fn)
+	case *NegExpr:
+		WalkExpr(e.X, fn)
+	case *FuncCall:
+		for _, a := range e.Args {
+			WalkExpr(a, fn)
+		}
+	case *InExpr:
+		WalkExpr(e.X, fn)
+		for _, it := range e.List {
+			WalkExpr(it, fn)
+		}
+	case *BetweenExpr:
+		WalkExpr(e.X, fn)
+		WalkExpr(e.Lo, fn)
+		WalkExpr(e.Hi, fn)
+	case *LikeExpr:
+		WalkExpr(e.X, fn)
+	case *IsNullExpr:
+		WalkExpr(e.X, fn)
+	}
+}
+
+// Conjuncts flattens a tree of top-level ANDs into its conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll joins expressions with AND; returns nil for an empty slice.
+func AndAll(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: OpAnd, L: out, R: e}
+		}
+	}
+	return out
+}
+
+// HasAggregate reports whether the expression contains an aggregate call
+// (SUM, COUNT, AVG, MIN, MAX).
+func HasAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && IsAggregateName(f.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// IsAggregateName reports whether name (upper-cased) is an aggregate.
+func IsAggregateName(name string) bool {
+	switch name {
+	case "SUM", "COUNT", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}

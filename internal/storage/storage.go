@@ -1,0 +1,355 @@
+// Package storage provides the in-memory row store backing the engine:
+// tables of typed rows, secondary hash indexes, and CSV import/export.
+//
+// The store is deliberately simple — append-only tables of []value.Value
+// rows — because the paper's workload is read-mostly analytical querying;
+// updates happen in bulk during identifier propagation and probability
+// annotation, which rebuild affected columns in place.
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"conquer/internal/schema"
+	"conquer/internal/value"
+)
+
+// Table is a relation instance: a schema plus its rows.
+type Table struct {
+	Schema *schema.Relation
+	rows   [][]value.Value
+
+	indexes map[string]*HashIndex // column name -> index
+}
+
+// NewTable creates an empty table over the given schema.
+func NewTable(s *schema.Relation) *Table {
+	return &Table{Schema: s, indexes: make(map[string]*HashIndex)}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Row returns row i. The returned slice must not be mutated except through
+// UpdateColumn, which keeps indexes coherent.
+func (t *Table) Row(i int) []value.Value { return t.rows[i] }
+
+// Rows returns the underlying row slice for read-only iteration.
+func (t *Table) Rows() [][]value.Value { return t.rows }
+
+// Insert appends a row after checking arity and column types. NULLs are
+// accepted in any column.
+func (t *Table) Insert(row []value.Value) error {
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("storage: %s expects %d columns, got %d", t.Schema.Name, len(t.Schema.Columns), len(row))
+	}
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		want := t.Schema.Columns[i].Type
+		if v.Kind() == want {
+			continue
+		}
+		// Int is acceptable where Float is declared.
+		if want == value.KindFloat && v.Kind() == value.KindInt {
+			row[i] = value.Float(v.AsFloat())
+			continue
+		}
+		return fmt.Errorf("storage: %s.%s expects %v, got %v (%v)",
+			t.Schema.Name, t.Schema.Columns[i].Name, want, v.Kind(), v)
+	}
+	rowID := len(t.rows)
+	t.rows = append(t.rows, row)
+	for col, idx := range t.indexes {
+		idx.add(row[t.Schema.ColumnIndex(col)], rowID)
+	}
+	return nil
+}
+
+// MustInsert inserts and panics on error; for tests and static fixtures.
+func (t *Table) MustInsert(row ...value.Value) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// UpdateColumn overwrites column col of row i with v, keeping any index on
+// that column coherent.
+func (t *Table) UpdateColumn(i int, col string, v value.Value) error {
+	ci := t.Schema.ColumnIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("storage: %s has no column %q", t.Schema.Name, col)
+	}
+	old := t.rows[i][ci]
+	t.rows[i][ci] = v
+	if idx, ok := t.indexes[strings.ToLower(col)]; ok {
+		idx.remove(old, i)
+		idx.add(v, i)
+	}
+	return nil
+}
+
+// CreateIndex builds a hash index on the named column. Creating an index
+// that already exists is a no-op.
+func (t *Table) CreateIndex(col string) error {
+	col = strings.ToLower(col)
+	ci := t.Schema.ColumnIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("storage: %s has no column %q to index", t.Schema.Name, col)
+	}
+	if _, ok := t.indexes[col]; ok {
+		return nil
+	}
+	idx := newHashIndex()
+	for i, row := range t.rows {
+		idx.add(row[ci], i)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// Index returns the hash index on col, if one exists.
+func (t *Table) Index(col string) (*HashIndex, bool) {
+	idx, ok := t.indexes[strings.ToLower(col)]
+	return idx, ok
+}
+
+// HashIndex maps a column value to the IDs of rows holding that value.
+type HashIndex struct {
+	buckets map[uint64][]entry
+}
+
+type entry struct {
+	key   value.Value
+	rowID int
+}
+
+func newHashIndex() *HashIndex {
+	return &HashIndex{buckets: make(map[uint64][]entry)}
+}
+
+func (ix *HashIndex) add(v value.Value, rowID int) {
+	h := value.Hash(v)
+	ix.buckets[h] = append(ix.buckets[h], entry{key: v, rowID: rowID})
+}
+
+func (ix *HashIndex) remove(v value.Value, rowID int) {
+	h := value.Hash(v)
+	b := ix.buckets[h]
+	for i, e := range b {
+		if e.rowID == rowID && value.Identical(e.key, v) {
+			ix.buckets[h] = append(b[:i], b[i+1:]...)
+			return
+		}
+	}
+}
+
+// Lookup returns the row IDs whose indexed column equals v under predicate
+// semantics (NULL matches nothing).
+func (ix *HashIndex) Lookup(v value.Value) []int {
+	if v.IsNull() {
+		return nil
+	}
+	var out []int
+	for _, e := range ix.buckets[value.Hash(v)] {
+		if value.Equal(e.key, v) {
+			out = append(out, e.rowID)
+		}
+	}
+	return out
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	Catalog *schema.Catalog
+	tables  map[string]*Table
+}
+
+// NewDB creates an empty database with an empty catalog.
+func NewDB() *DB {
+	return &DB{Catalog: schema.NewCatalog(), tables: make(map[string]*Table)}
+}
+
+// CreateTable registers the schema in the catalog and creates an empty
+// table for it.
+func (db *DB) CreateTable(s *schema.Relation) (*Table, error) {
+	if err := db.Catalog.Add(s); err != nil {
+		return nil, err
+	}
+	t := NewTable(s)
+	db.tables[s.Name] = t
+	return t, nil
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (db *DB) MustCreateTable(s *schema.Relation) *Table {
+	t, err := db.CreateTable(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table looks up a table by case-insensitive name.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames returns table names in creation order.
+func (db *DB) TableNames() []string { return db.Catalog.Names() }
+
+// TotalRows returns the number of rows across all tables.
+func (db *DB) TotalRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// Clone deep-copies the database: schemas, rows and indexes.
+func (db *DB) Clone() *DB {
+	out := NewDB()
+	for _, name := range db.Catalog.Names() {
+		src := db.tables[name]
+		dst := out.MustCreateTable(src.Schema.Clone())
+		dst.rows = make([][]value.Value, len(src.rows))
+		for i, r := range src.rows {
+			dst.rows[i] = append([]value.Value(nil), r...)
+		}
+		for col := range src.indexes {
+			if err := dst.CreateIndex(col); err != nil {
+				panic(err) // same schema, cannot fail
+			}
+		}
+	}
+	return out
+}
+
+// WriteCSV writes the table (with a header row) to w.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Schema.Columns))
+	for i, c := range t.Schema.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(header))
+	for _, row := range t.rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads rows from r, which must begin with a header row whose names
+// match a subset ordering of the schema columns (all schema columns must be
+// present, in any order).
+func (t *Table) ReadCSV(r io.Reader) error {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("storage: reading CSV header for %s: %w", t.Schema.Name, err)
+	}
+	pos := make([]int, len(t.Schema.Columns)) // schema col -> csv col
+	for i := range pos {
+		pos[i] = -1
+	}
+	for ci, h := range header {
+		si := t.Schema.ColumnIndex(strings.TrimSpace(h))
+		if si >= 0 {
+			pos[si] = ci
+		}
+	}
+	for i, p := range pos {
+		if p < 0 {
+			return fmt.Errorf("storage: CSV for %s is missing column %q", t.Schema.Name, t.Schema.Columns[i].Name)
+		}
+	}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("storage: reading CSV for %s: %w", t.Schema.Name, err)
+		}
+		row := make([]value.Value, len(t.Schema.Columns))
+		for si, ci := range pos {
+			if ci >= len(rec) {
+				return fmt.Errorf("storage: short CSV record for %s", t.Schema.Name)
+			}
+			v, err := value.Parse(t.Schema.Columns[si].Type, rec[ci])
+			if err != nil {
+				return err
+			}
+			row[si] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return err
+		}
+	}
+}
+
+// SaveCSVFile writes the table to path.
+func (t *Table) SaveCSVFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSVFile loads rows from path.
+func (t *Table) LoadCSVFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.ReadCSV(f)
+}
+
+// SortRows sorts the table rows in place by the given column positions
+// (ascending, NULLs first). Indexes are rebuilt. Sorting is used by the
+// generators to produce deterministic output files.
+func (t *Table) SortRows(cols ...int) {
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		for _, c := range cols {
+			if cmp := value.Compare(t.rows[i][c], t.rows[j][c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	for col := range t.indexes {
+		idx := newHashIndex()
+		ci := t.Schema.ColumnIndex(col)
+		for i, row := range t.rows {
+			idx.add(row[ci], i)
+		}
+		t.indexes[col] = idx
+	}
+}

@@ -1,0 +1,277 @@
+package storage
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"conquer/internal/schema"
+	"conquer/internal/value"
+)
+
+func custSchema() *schema.Relation {
+	return schema.MustRelation("customer",
+		schema.Column{Name: "custid", Type: value.KindString},
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "balance", Type: value.KindFloat},
+	)
+}
+
+func TestInsertAndRead(t *testing.T) {
+	tb := NewTable(custSchema())
+	tb.MustInsert(value.Str("c1"), value.Str("John"), value.Float(20000))
+	tb.MustInsert(value.Str("c2"), value.Str("Mary"), value.Float(27000))
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if tb.Row(1)[1].AsString() != "Mary" {
+		t.Error("Row(1) wrong")
+	}
+	if len(tb.Rows()) != 2 {
+		t.Error("Rows()")
+	}
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	tb := NewTable(custSchema())
+	if err := tb.Insert([]value.Value{value.Str("c1"), value.Str("x")}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if err := tb.Insert([]value.Value{value.Int(1), value.Str("x"), value.Float(0)}); err == nil {
+		t.Error("int into varchar should fail")
+	}
+	// Int widens into float column.
+	if err := tb.Insert([]value.Value{value.Str("c1"), value.Str("x"), value.Int(5)}); err != nil {
+		t.Errorf("int should widen into FLOAT column: %v", err)
+	}
+	if tb.Row(0)[2].Kind() != value.KindFloat {
+		t.Error("widened value should be stored as float")
+	}
+	// NULL allowed anywhere.
+	if err := tb.Insert([]value.Value{value.Null(), value.Null(), value.Null()}); err != nil {
+		t.Errorf("NULL row: %v", err)
+	}
+}
+
+func TestMustInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInsert should panic on bad row")
+		}
+	}()
+	NewTable(custSchema()).MustInsert(value.Int(1))
+}
+
+func TestHashIndex(t *testing.T) {
+	tb := NewTable(custSchema())
+	tb.MustInsert(value.Str("c1"), value.Str("John"), value.Float(1))
+	if err := tb.CreateIndex("custid"); err != nil {
+		t.Fatal(err)
+	}
+	// Insert after index creation keeps it coherent.
+	tb.MustInsert(value.Str("c1"), value.Str("Johnny"), value.Float(2))
+	tb.MustInsert(value.Str("c2"), value.Str("Mary"), value.Float(3))
+
+	idx, ok := tb.Index("CUSTID")
+	if !ok {
+		t.Fatal("index missing")
+	}
+	got := idx.Lookup(value.Str("c1"))
+	if len(got) != 2 {
+		t.Fatalf("Lookup(c1) = %v", got)
+	}
+	if len(idx.Lookup(value.Str("zz"))) != 0 {
+		t.Error("Lookup miss should be empty")
+	}
+	if idx.Lookup(value.Null()) != nil {
+		t.Error("NULL lookup must match nothing")
+	}
+	if err := tb.CreateIndex("custid"); err != nil {
+		t.Error("re-creating an index should be a no-op")
+	}
+	if err := tb.CreateIndex("ghost"); err == nil {
+		t.Error("indexing a missing column should fail")
+	}
+}
+
+func TestUpdateColumnKeepsIndexCoherent(t *testing.T) {
+	tb := NewTable(custSchema())
+	tb.MustInsert(value.Str("c1"), value.Str("John"), value.Float(1))
+	if err := tb.CreateIndex("custid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.UpdateColumn(0, "custid", value.Str("c9")); err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := tb.Index("custid")
+	if len(idx.Lookup(value.Str("c1"))) != 0 {
+		t.Error("old key should be gone from index")
+	}
+	if len(idx.Lookup(value.Str("c9"))) != 1 {
+		t.Error("new key should be present in index")
+	}
+	if err := tb.UpdateColumn(0, "ghost", value.Str("x")); err == nil {
+		t.Error("updating a missing column should fail")
+	}
+}
+
+func TestDBCreateAndLookup(t *testing.T) {
+	db := NewDB()
+	tb := db.MustCreateTable(custSchema())
+	tb.MustInsert(value.Str("c1"), value.Str("John"), value.Float(1))
+	got, ok := db.Table("CUSTOMER")
+	if !ok || got != tb {
+		t.Error("Table lookup")
+	}
+	if _, ok := db.Table("ghost"); ok {
+		t.Error("missing table lookup should fail")
+	}
+	if _, err := db.CreateTable(custSchema()); err == nil {
+		t.Error("duplicate CreateTable should fail")
+	}
+	if n := db.TotalRows(); n != 1 {
+		t.Errorf("TotalRows = %d", n)
+	}
+	if names := db.TableNames(); len(names) != 1 || names[0] != "customer" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestDBClone(t *testing.T) {
+	db := NewDB()
+	tb := db.MustCreateTable(custSchema())
+	tb.MustInsert(value.Str("c1"), value.Str("John"), value.Float(1))
+	if err := tb.CreateIndex("custid"); err != nil {
+		t.Fatal(err)
+	}
+	cp := db.Clone()
+	ct, _ := cp.Table("customer")
+	if err := ct.UpdateColumn(0, "name", value.Str("Mutated")); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Row(0)[1].AsString() != "John" {
+		t.Error("Clone must not share row storage")
+	}
+	if _, ok := ct.Index("custid"); !ok {
+		t.Error("Clone should carry indexes")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tb := NewTable(custSchema())
+	tb.MustInsert(value.Str("c1"), value.Str("John"), value.Float(20000))
+	tb.MustInsert(value.Str("c2"), value.Null(), value.Float(27000))
+
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back := NewTable(custSchema())
+	if err := back.ReadCSV(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round-trip Len = %d", back.Len())
+	}
+	if !back.Row(1)[1].IsNull() {
+		t.Error("NULL should round-trip through empty CSV field")
+	}
+	if back.Row(0)[2].AsFloat() != 20000 {
+		t.Error("float should round-trip")
+	}
+}
+
+func TestCSVColumnReordering(t *testing.T) {
+	csvText := "balance,custid,name\n5,c1,John\n"
+	tb := NewTable(custSchema())
+	if err := tb.ReadCSV(strings.NewReader(csvText)); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Row(0)[0].AsString() != "c1" || tb.Row(0)[2].AsFloat() != 5 {
+		t.Error("columns should map by header name, not position")
+	}
+}
+
+func TestCSVMissingColumn(t *testing.T) {
+	tb := NewTable(custSchema())
+	err := tb.ReadCSV(strings.NewReader("custid,name\nc1,John\n"))
+	if err == nil || !strings.Contains(err.Error(), "balance") {
+		t.Errorf("missing column should be reported, got %v", err)
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cust.csv")
+	tb := NewTable(custSchema())
+	tb.MustInsert(value.Str("c1"), value.Str("John"), value.Float(1))
+	if err := tb.SaveCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back := NewTable(custSchema())
+	if err := back.LoadCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 1 {
+		t.Error("file round-trip")
+	}
+	if err := back.LoadCSVFile(filepath.Join(dir, "ghost.csv")); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}
+
+func TestSortRows(t *testing.T) {
+	tb := NewTable(custSchema())
+	tb.MustInsert(value.Str("c2"), value.Str("Mary"), value.Float(3))
+	tb.MustInsert(value.Str("c1"), value.Str("John"), value.Float(1))
+	tb.MustInsert(value.Str("c1"), value.Str("Johnny"), value.Float(2))
+	if err := tb.CreateIndex("custid"); err != nil {
+		t.Fatal(err)
+	}
+	tb.SortRows(0, 2)
+	if tb.Row(0)[1].AsString() != "John" || tb.Row(2)[0].AsString() != "c2" {
+		t.Error("SortRows order wrong")
+	}
+	// Index rebuilt: rowIDs must point at post-sort positions.
+	idx, _ := tb.Index("custid")
+	for _, rid := range idx.Lookup(value.Str("c2")) {
+		if tb.Row(rid)[0].AsString() != "c2" {
+			t.Error("index stale after SortRows")
+		}
+	}
+}
+
+// Property: every inserted row is retrievable via an index on its key.
+func TestIndexLookupProperty(t *testing.T) {
+	f := func(keys []uint8) bool {
+		s := schema.MustRelation("t",
+			schema.Column{Name: "k", Type: value.KindInt},
+			schema.Column{Name: "pos", Type: value.KindInt},
+		)
+		tb := NewTable(s)
+		if err := tb.CreateIndex("k"); err != nil {
+			return false
+		}
+		for i, k := range keys {
+			tb.MustInsert(value.Int(int64(k)), value.Int(int64(i)))
+		}
+		idx, _ := tb.Index("k")
+		for i, k := range keys {
+			found := false
+			for _, rid := range idx.Lookup(value.Int(int64(k))) {
+				if tb.Row(rid)[1].AsInt() == int64(i) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+// Package testdb builds the running-example databases of the paper for use
+// in tests, examples and documentation:
+//
+//   - Figure 1: the loyaltycard/customer database of the introduction,
+//   - Figure 2: the order/customer database of §2, and
+//   - Figure 6: the categorical customer relation of §4.
+package testdb
+
+import (
+	"conquer/internal/dirty"
+	"conquer/internal/schema"
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+// Figure1 builds the dirty loyalty-card database of Figure 1: card 111 is
+// associated with customers c1/c2 with probabilities 0.4/0.6; John (c1)
+// has incomes 120K (0.9) and 80K (0.1); Mary/Marion (c2) have incomes 140K
+// (0.4) and 40K (0.6).
+func Figure1() *dirty.DB {
+	store := storage.NewDB()
+
+	cardS := schema.MustRelation("loyaltycard",
+		schema.Column{Name: "id", Type: value.KindString},
+		schema.Column{Name: "cardid", Type: value.KindInt},
+		schema.Column{Name: "custfk", Type: value.KindString},
+		schema.Column{Name: "prob", Type: value.KindFloat},
+	)
+	mustSetDirty(cardS)
+	card := store.MustCreateTable(cardS)
+	card.MustInsert(value.Str("t111"), value.Int(111), value.Str("c1"), value.Float(0.4))
+	card.MustInsert(value.Str("t111"), value.Int(111), value.Str("c2"), value.Float(0.6))
+
+	custS := schema.MustRelation("customer",
+		schema.Column{Name: "id", Type: value.KindString},
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "income", Type: value.KindFloat},
+		schema.Column{Name: "prob", Type: value.KindFloat},
+	)
+	mustSetDirty(custS)
+	cust := store.MustCreateTable(custS)
+	cust.MustInsert(value.Str("c1"), value.Str("John"), value.Float(120000), value.Float(0.9))
+	cust.MustInsert(value.Str("c1"), value.Str("John"), value.Float(80000), value.Float(0.1))
+	cust.MustInsert(value.Str("c2"), value.Str("Mary"), value.Float(140000), value.Float(0.4))
+	cust.MustInsert(value.Str("c2"), value.Str("Marion"), value.Float(40000), value.Float(0.6))
+
+	return dirty.New(store)
+}
+
+// Figure2 builds the dirty order/customer database of Figure 2, with
+// identifier propagation already applied (order.cidfk holds cluster
+// identifiers).
+func Figure2() *dirty.DB {
+	store := storage.NewDB()
+
+	custS := schema.MustRelation("customer",
+		schema.Column{Name: "id", Type: value.KindString},
+		schema.Column{Name: "custid", Type: value.KindString},
+		schema.Column{Name: "name", Type: value.KindString},
+		schema.Column{Name: "balance", Type: value.KindFloat},
+		schema.Column{Name: "prob", Type: value.KindFloat},
+	)
+	mustSetDirty(custS)
+	cust := store.MustCreateTable(custS)
+	cust.MustInsert(value.Str("c1"), value.Str("m1"), value.Str("John"), value.Float(20000), value.Float(0.7))
+	cust.MustInsert(value.Str("c1"), value.Str("m2"), value.Str("John"), value.Float(30000), value.Float(0.3))
+	cust.MustInsert(value.Str("c2"), value.Str("m3"), value.Str("Mary"), value.Float(27000), value.Float(0.2))
+	cust.MustInsert(value.Str("c2"), value.Str("m4"), value.Str("Marion"), value.Float(5000), value.Float(0.8))
+
+	ordS := schema.MustRelation("orders",
+		schema.Column{Name: "id", Type: value.KindString},
+		schema.Column{Name: "orderid", Type: value.KindString},
+		schema.Column{Name: "cidfk", Type: value.KindString},
+		schema.Column{Name: "quantity", Type: value.KindInt},
+		schema.Column{Name: "prob", Type: value.KindFloat},
+	)
+	mustSetDirty(ordS)
+	if err := ordS.AddForeignKey("cidfk", "customer", "custid"); err != nil {
+		panic(err)
+	}
+	ord := store.MustCreateTable(ordS)
+	ord.MustInsert(value.Str("o1"), value.Str("11"), value.Str("c1"), value.Int(3), value.Float(1))
+	ord.MustInsert(value.Str("o2"), value.Str("12"), value.Str("c1"), value.Int(2), value.Float(0.5))
+	ord.MustInsert(value.Str("o2"), value.Str("13"), value.Str("c2"), value.Int(5), value.Float(0.5))
+
+	return dirty.New(store)
+}
+
+// Figure6Tuples returns the categorical customer relation of Figure 6 as
+// attribute-value tuples with their cluster identifiers: the input of the
+// §4 probability-computation examples (Tables 1-3).
+func Figure6Tuples() (attrs []string, tuples [][]string, clusterIDs []string) {
+	attrs = []string{"name", "mktsegment", "nation", "address"}
+	tuples = [][]string{
+		{"Mary", "building", "USA", "Jones Ave"},
+		{"Mary", "banking", "USA", "Jones Ave"},
+		{"Marion", "banking", "USA", "Jones ave"},
+		{"John", "building", "America", "Arrow"},
+		{"John S.", "building", "USA", "Arrow"},
+		{"John", "banking", "Canada", "Baldwin"},
+	}
+	clusterIDs = []string{"c1", "c1", "c1", "c2", "c2", "c3"}
+	return attrs, tuples, clusterIDs
+}
+
+func mustSetDirty(r *schema.Relation) {
+	if err := r.SetDirty("id", "prob"); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,183 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query is one of the paper's thirteen evaluation queries.
+type Query struct {
+	// Number is the TPC-H query number (1, 2, 3, 4, 6, 9, 10, 11, 12, 14,
+	// 17, 18 or 20).
+	Number int
+	// SQL is the SPJ form of the query (aggregates removed, §5.3) with the
+	// validation parameters inlined.
+	SQL string
+	// Joins counts the equality join conjuncts.
+	Joins int
+}
+
+// Numbers lists the thirteen TPC-H query numbers used in §5.3.
+var Numbers = []int{1, 2, 3, 4, 6, 9, 10, 11, 12, 14, 17, 18, 20}
+
+// queries maps query number to its SPJ text. Every query projects the
+// identifier of its join-graph root, keeping it inside the rewritable
+// class (Dfn 7); see the package comment for the adaptation rules.
+var queries = map[int]string{
+	// Q1 — pricing summary report: a pure selection over lineitem.
+	1: `select l_id, l_returnflag, l_linestatus, l_quantity, l_extendedprice, l_discount, l_tax
+	    from lineitem
+	    where l_shipdate <= '1998-09-02'`,
+
+	// Q2 — minimum-cost supplier (min subquery dropped): partsupp is the
+	// root of a four-arc tree.
+	2: `select ps.ps_id, s.s_acctbal, s.s_name, n.n_name, p.p_partkey, p.p_mfgr, s.s_address, s.s_phone
+	    from part p, supplier s, partsupp ps, nation n, region r
+	    where p.p_partkey = ps.ps_partkey
+	      and s.s_suppkey = ps.ps_suppkey
+	      and p.p_size = 15
+	      and p.p_type like '%BRASS'
+	      and s.s_nationkey = n.n_nationkey
+	      and n.n_regionkey = r.r_regionkey
+	      and r.r_name = 'EUROPE'
+	    order by s.s_acctbal desc, n.n_name, s.s_name, p.p_partkey`,
+
+	// Q3 — shipping priority: the paper's showcased query (Figure 9).
+	3: `select l.l_id, l.l_orderkey, l.l_extendedprice * (1 - l.l_discount) as revenue, o.o_orderdate, o.o_shippriority
+	    from customer c, orders o, lineitem l
+	    where c.c_mktsegment = 'BUILDING'
+	      and c.c_custkey = o.o_custkey
+	      and l.l_orderkey = o.o_orderkey
+	      and o.o_orderdate < '1995-03-15'
+	      and l.l_shipdate > '1995-03-15'
+	    order by revenue desc, o.o_orderdate`,
+
+	// Q4 — order priority checking (EXISTS folded into the join).
+	4: `select l.l_id, o.o_orderkey, o.o_orderpriority
+	    from orders o, lineitem l
+	    where o.o_orderdate >= '1993-07-01'
+	      and o.o_orderdate < '1993-10-01'
+	      and l.l_orderkey = o.o_orderkey
+	      and l.l_commitdate < l.l_receiptdate`,
+
+	// Q6 — revenue-change forecast: a pure selection over lineitem.
+	6: `select l_id, l_extendedprice, l_discount
+	    from lineitem
+	    where l_shipdate >= '1994-01-01'
+	      and l_shipdate < '1995-01-01'
+	      and l_discount between 0.05 and 0.07
+	      and l_quantity < 24`,
+
+	// Q9 — product-type profit: six relations rooted at lineitem. The
+	// composite partsupp join is carried by the propagated identifier
+	// l_psid.
+	9: `select l.l_id, n.n_name, o.o_orderdate, l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity as amount
+	    from part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+	    where s.s_suppkey = l.l_suppkey
+	      and ps.ps_id = l.l_psid
+	      and p.p_partkey = l.l_partkey
+	      and o.o_orderkey = l.l_orderkey
+	      and s.s_nationkey = n.n_nationkey
+	      and p.p_name like '%green%'
+	    order by n.n_name, o.o_orderdate desc`,
+
+	// Q10 — returned-item reporting.
+	10: `select l.l_id, c.c_custkey, c.c_name, l.l_extendedprice * (1 - l.l_discount) as revenue, c.c_acctbal, n.n_name, c.c_address, c.c_phone
+	     from customer c, orders o, lineitem l, nation n
+	     where c.c_custkey = o.o_custkey
+	       and l.l_orderkey = o.o_orderkey
+	       and o.o_orderdate >= '1993-10-01'
+	       and o.o_orderdate < '1994-01-01'
+	       and l.l_returnflag = 'R'
+	       and c.c_nationkey = n.n_nationkey
+	     order by revenue desc`,
+
+	// Q11 — important stock identification (group/having dropped).
+	11: `select ps.ps_id, ps.ps_partkey, ps.ps_supplycost * ps.ps_availqty as stockvalue
+	     from partsupp ps, supplier s, nation n
+	     where ps.ps_suppkey = s.s_suppkey
+	       and s.s_nationkey = n.n_nationkey
+	       and n.n_name = 'GERMANY'
+	     order by stockvalue desc`,
+
+	// Q12 — shipping-mode and order-priority.
+	12: `select l.l_id, l.l_shipmode, o.o_orderpriority
+	     from orders o, lineitem l
+	     where o.o_orderkey = l.l_orderkey
+	       and l.l_shipmode in ('MAIL', 'SHIP')
+	       and l.l_commitdate < l.l_receiptdate
+	       and l.l_shipdate < l.l_commitdate
+	       and l.l_receiptdate >= '1994-01-01'
+	       and l.l_receiptdate < '1995-01-01'`,
+
+	// Q14 — promotion effect.
+	14: `select l.l_id, p.p_type, l.l_extendedprice * (1 - l.l_discount) as revenue
+	     from lineitem l, part p
+	     where l.l_partkey = p.p_partkey
+	       and l.l_shipdate >= '1995-09-01'
+	       and l.l_shipdate < '1995-10-01'`,
+
+	// Q17 — small-quantity-order revenue (avg subquery replaced by a
+	// constant quantity threshold).
+	17: `select l.l_id, l.l_extendedprice, l.l_quantity
+	     from lineitem l, part p
+	     where p.p_partkey = l.l_partkey
+	       and p.p_brand = 'Brand#23'
+	       and p.p_container = 'MED BOX'
+	       and l.l_quantity < 10`,
+
+	// Q18 — large-volume customers (having sum(l_quantity) replaced by a
+	// per-line quantity threshold).
+	18: `select l.l_id, c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice, l.l_quantity
+	     from customer c, orders o, lineitem l
+	     where o.o_orderkey = l.l_orderkey
+	       and c.c_custkey = o.o_custkey
+	       and l.l_quantity >= 49
+	     order by o.o_totalprice desc, o.o_orderdate`,
+
+	// Q20 — potential part promotion (nested IN subqueries folded into
+	// direct joins and selections).
+	20: `select ps.ps_id, s.s_name, s.s_address
+	     from supplier s, nation n, partsupp ps, part p
+	     where ps.ps_suppkey = s.s_suppkey
+	       and ps.ps_partkey = p.p_partkey
+	       and p.p_name like 'forest%'
+	       and ps.ps_availqty > 100
+	       and s.s_nationkey = n.n_nationkey
+	       and n.n_name = 'CANADA'
+	     order by s.s_name`,
+}
+
+// joinCounts records the number of equality join conjuncts per query.
+var joinCounts = map[int]int{
+	1: 0, 2: 4, 3: 2, 4: 1, 6: 0, 9: 5, 10: 3, 11: 2, 12: 1, 14: 1, 17: 1, 18: 2, 20: 3,
+}
+
+// Get returns query n.
+func Get(n int) (Query, error) {
+	sql, ok := queries[n]
+	if !ok {
+		return Query{}, fmt.Errorf("tpch: no query %d in the evaluation set", n)
+	}
+	return Query{Number: n, SQL: normalize(sql), Joins: joinCounts[n]}, nil
+}
+
+// All returns the thirteen queries in evaluation order.
+func All() []Query {
+	out := make([]Query, 0, len(Numbers))
+	for _, n := range Numbers {
+		q, err := Get(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// normalize collapses the indented raw text into single-space SQL.
+func normalize(sql string) string {
+	return strings.Join(strings.Fields(sql), " ")
+}

@@ -1,0 +1,165 @@
+// Package tpch defines the dirty TPC-H schema and the thirteen
+// select-project-join queries of the paper's evaluation (§5.3): TPC-H
+// queries 1, 2, 3, 4, 6, 9, 10, 11, 12, 14, 17, 18 and 20 with their
+// aggregate expressions removed, instantiated with the validation
+// parameters of the TPC-H specification.
+//
+// # Dirty extensions
+//
+// Every relation carries three extra columns beyond its TPC-H attributes:
+//
+//   - an identifier column (the cluster identifier a tuple matcher
+//     produced). For relations with a single-attribute key the original
+//     key doubles as the identifier, matching the experimental setup of
+//     §5.3 ("the approach that replaces the values of the original keys
+//     ... with the identifier"). The composite-key relations partsupp and
+//     lineitem get dedicated ps_id / l_id identifier columns.
+//   - a rowkey column, unique per physical tuple — the pre-matching
+//     original key that foreign keys reference before identifier
+//     propagation. Rowkeys live in a value range disjoint from the
+//     identifiers so propagation is idempotent.
+//   - a prob column with the tuple's probability of being clean.
+//
+// Comment columns are omitted: none of the thirteen queries touch them.
+//
+// # Query adaptations
+//
+// Departures from the verbatim TPC-H text, each sanctioned by the paper:
+//
+//   - Each query's SELECT clause includes the identifier of its join-graph
+//     root (condition 4 of Dfn 7); the paper notes that "including the
+//     identifier in the select clause is not an onerous restriction".
+//   - The composite lineitem→partsupp join of Q9 (ps_partkey = l_partkey
+//     AND ps_suppkey = l_suppkey) is expressed through the propagated
+//     partsupp identifier (l_psid = ps_id), its single-column equivalent.
+//   - Aggregate subqueries (Q2's min, Q17's avg, Q18's having) are
+//     replaced by constant selections, since removing the aggregate
+//     expressions removes the subqueries that compute them.
+package tpch
+
+import (
+	"conquer/internal/schema"
+	"conquer/internal/value"
+)
+
+// Tables lists the TPC-H relation names in dependency order (referenced
+// relations first).
+var Tables = []string{
+	"region", "nation", "supplier", "customer",
+	"part", "partsupp", "orders", "lineitem",
+}
+
+// RowKeyBase offsets rowkey values so they never collide with identifier
+// values, keeping identifier propagation idempotent.
+const RowKeyBase = 1_000_000_000
+
+// Catalog builds the dirty TPC-H catalog: every relation with its TPC-H
+// attributes plus rowkey, identifier and prob columns, dirty metadata set,
+// and foreign keys declared against referenced rowkeys (the
+// pre-propagation state).
+func Catalog() *schema.Catalog {
+	cat := schema.NewCatalog()
+	str := value.KindString
+	num := value.KindFloat
+	intk := value.KindInt
+
+	mk := func(name, identifier, rowkey string, fks [][3]string, cols ...schema.Column) {
+		cols = append(cols,
+			schema.Column{Name: rowkey, Type: intk},
+			schema.Column{Name: "prob", Type: num},
+		)
+		rel := schema.MustRelation(name, cols...)
+		if err := rel.SetDirty(identifier, "prob"); err != nil {
+			panic(err)
+		}
+		for _, fk := range fks {
+			if err := rel.AddForeignKey(fk[0], fk[1], fk[2]); err != nil {
+				panic(err)
+			}
+		}
+		if err := cat.Add(rel); err != nil {
+			panic(err)
+		}
+	}
+
+	mk("region", "r_regionkey", "r_rowkey", nil,
+		schema.Column{Name: "r_regionkey", Type: intk},
+		schema.Column{Name: "r_name", Type: str},
+	)
+	mk("nation", "n_nationkey", "n_rowkey", [][3]string{{"n_regionkey", "region", "r_rowkey"}},
+		schema.Column{Name: "n_nationkey", Type: intk},
+		schema.Column{Name: "n_name", Type: str},
+		schema.Column{Name: "n_regionkey", Type: intk},
+	)
+	mk("supplier", "s_suppkey", "s_rowkey", [][3]string{{"s_nationkey", "nation", "n_rowkey"}},
+		schema.Column{Name: "s_suppkey", Type: intk},
+		schema.Column{Name: "s_name", Type: str},
+		schema.Column{Name: "s_address", Type: str},
+		schema.Column{Name: "s_nationkey", Type: intk},
+		schema.Column{Name: "s_phone", Type: str},
+		schema.Column{Name: "s_acctbal", Type: num},
+	)
+	mk("customer", "c_custkey", "c_rowkey", [][3]string{{"c_nationkey", "nation", "n_rowkey"}},
+		schema.Column{Name: "c_custkey", Type: intk},
+		schema.Column{Name: "c_name", Type: str},
+		schema.Column{Name: "c_address", Type: str},
+		schema.Column{Name: "c_nationkey", Type: intk},
+		schema.Column{Name: "c_phone", Type: str},
+		schema.Column{Name: "c_acctbal", Type: num},
+		schema.Column{Name: "c_mktsegment", Type: str},
+	)
+	mk("part", "p_partkey", "p_rowkey", nil,
+		schema.Column{Name: "p_partkey", Type: intk},
+		schema.Column{Name: "p_name", Type: str},
+		schema.Column{Name: "p_mfgr", Type: str},
+		schema.Column{Name: "p_brand", Type: str},
+		schema.Column{Name: "p_type", Type: str},
+		schema.Column{Name: "p_size", Type: intk},
+		schema.Column{Name: "p_container", Type: str},
+		schema.Column{Name: "p_retailprice", Type: num},
+	)
+	mk("partsupp", "ps_id", "ps_rowkey", [][3]string{
+		{"ps_partkey", "part", "p_rowkey"},
+		{"ps_suppkey", "supplier", "s_rowkey"},
+	},
+		schema.Column{Name: "ps_id", Type: intk},
+		schema.Column{Name: "ps_partkey", Type: intk},
+		schema.Column{Name: "ps_suppkey", Type: intk},
+		schema.Column{Name: "ps_availqty", Type: intk},
+		schema.Column{Name: "ps_supplycost", Type: num},
+	)
+	mk("orders", "o_orderkey", "o_rowkey", [][3]string{{"o_custkey", "customer", "c_rowkey"}},
+		schema.Column{Name: "o_orderkey", Type: intk},
+		schema.Column{Name: "o_custkey", Type: intk},
+		schema.Column{Name: "o_orderstatus", Type: str},
+		schema.Column{Name: "o_totalprice", Type: num},
+		schema.Column{Name: "o_orderdate", Type: str},
+		schema.Column{Name: "o_orderpriority", Type: str},
+		schema.Column{Name: "o_shippriority", Type: intk},
+	)
+	mk("lineitem", "l_id", "l_rowkey", [][3]string{
+		{"l_orderkey", "orders", "o_rowkey"},
+		{"l_partkey", "part", "p_rowkey"},
+		{"l_suppkey", "supplier", "s_rowkey"},
+		{"l_psid", "partsupp", "ps_rowkey"},
+	},
+		schema.Column{Name: "l_id", Type: intk},
+		schema.Column{Name: "l_orderkey", Type: intk},
+		schema.Column{Name: "l_partkey", Type: intk},
+		schema.Column{Name: "l_suppkey", Type: intk},
+		schema.Column{Name: "l_psid", Type: intk},
+		schema.Column{Name: "l_linenumber", Type: intk},
+		schema.Column{Name: "l_quantity", Type: num},
+		schema.Column{Name: "l_extendedprice", Type: num},
+		schema.Column{Name: "l_discount", Type: num},
+		schema.Column{Name: "l_tax", Type: num},
+		schema.Column{Name: "l_returnflag", Type: str},
+		schema.Column{Name: "l_linestatus", Type: str},
+		schema.Column{Name: "l_shipdate", Type: str},
+		schema.Column{Name: "l_commitdate", Type: str},
+		schema.Column{Name: "l_receiptdate", Type: str},
+		schema.Column{Name: "l_shipmode", Type: str},
+	)
+
+	return cat
+}

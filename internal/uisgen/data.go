@@ -1,0 +1,342 @@
+package uisgen
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"conquer/internal/value"
+)
+
+// TPC-H domain pools. The lists keep the values the evaluation queries
+// select on: the BUILDING segment (Q3), EUROPE region and %BRASS types
+// (Q2), GERMANY and CANADA nations (Q11, Q20), MAIL/SHIP modes (Q12),
+// Brand#23 and MED BOX (Q17), green and forest part-name colors (Q9, Q20).
+var (
+	regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+	// nationSpec maps the 25 TPC-H nations to their region index (0-based
+	// into regionNames).
+	nationSpec = []struct {
+		name   string
+		region int
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	statuses   = []string{"F", "O", "P"}
+	colors     = []string{
+		"almond", "antique", "aquamarine", "azure", "beige", "bisque",
+		"black", "blanched", "blue", "blush", "brown", "burlywood",
+		"chartreuse", "chocolate", "coral", "cornflower", "cream", "cyan",
+		"forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+		"honeydew", "hot", "indian", "ivory", "khaki", "lace", "lavender",
+		"lemon", "light", "lime", "linen", "magenta", "maroon", "medium",
+		"midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive",
+		"orange", "orchid", "pale", "papaya", "peach", "peru", "pink",
+		"plum", "powder", "puff", "purple", "red", "rose", "rosy",
+		"royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky",
+		"slate", "smoke", "snow", "spring", "steel", "tan", "thistle",
+		"tomato", "turquoise", "violet", "wheat", "white", "yellow",
+	}
+	typeSyllable1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyllable2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyllable3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	containers1   = []string{"SM", "MED", "LG", "JUMBO", "WRAP"}
+	containers2   = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+	mfgrs         = []string{"Manufacturer#1", "Manufacturer#2", "Manufacturer#3", "Manufacturer#4", "Manufacturer#5"}
+	streets       = []string{"Jones Ave", "Arrow St", "Baldwin Rd", "College St", "Queen St", "King Rd", "Spadina Ave", "Bloor St"}
+)
+
+const dateLayout = "2006-01-02"
+
+var epochStart = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// randDate returns an ISO date uniformly within [start, start+spreadDays).
+func (g *generator) randDate(start time.Time, spreadDays int) string {
+	return start.AddDate(0, 0, g.rng.Intn(spreadDays)).Format(dateLayout)
+}
+
+func (g *generator) pick(pool []string) string {
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// pickSkewed returns favored with probability p, otherwise a uniform pool
+// draw. The generator lightly skews a handful of domains toward the
+// validation constants of the thirteen evaluation queries (EUROPE/GERMANY/
+// CANADA suppliers, BRASS types, Brand#23, MED BOX, size 15, forest/green
+// part names): at the reduced entity scales benchmarks run at, uniform
+// TPC-H domains would leave the highly selective queries with empty
+// results, which the full-scale UIS data the paper used did not suffer
+// from.
+func (g *generator) pickSkewed(favored string, p float64, pool []string) string {
+	if g.rng.Float64() < p {
+		return favored
+	}
+	return g.pick(pool)
+}
+
+// germanyIdx and canadaIdx locate the skew targets in nationSpec.
+var germanyIdx, canadaIdx = func() (int, int) {
+	gi, ci := -1, -1
+	for i, n := range nationSpec {
+		switch n.name {
+		case "GERMANY":
+			gi = i
+		case "CANADA":
+			ci = i
+		}
+	}
+	return gi, ci
+}()
+
+// skewedNation picks a nation entity, favoring GERMANY and CANADA.
+func (g *generator) skewedNation() int {
+	r := g.rng.Float64()
+	switch {
+	case r < 0.10:
+		return germanyIdx + 1
+	case r < 0.20:
+		return canadaIdx + 1
+	default:
+		return g.randomEntity("nation")
+	}
+}
+
+// money returns a float with two decimals in [lo, hi).
+func (g *generator) money(lo, hi float64) float64 {
+	v := lo + g.rng.Float64()*(hi-lo)
+	return float64(int(v*100)) / 100
+}
+
+// master generates the clean (master) attribute values for entity e of the
+// named table, excluding the trailing rowkey and prob columns.
+func (g *generator) master(table string, e int) []value.Value {
+	switch table {
+	case "region":
+		return []value.Value{
+			value.Int(int64(e)),
+			value.Str(regionNames[(e-1)%len(regionNames)]),
+		}
+	case "nation":
+		spec := nationSpec[(e-1)%len(nationSpec)]
+		return []value.Value{
+			value.Int(int64(e)),
+			value.Str(spec.name),
+			value.Int(g.fkRef("region", spec.region+1)),
+		}
+	case "supplier":
+		return []value.Value{
+			value.Int(int64(e)),
+			value.Str(fmt.Sprintf("Supplier#%09d", e)),
+			value.Str(fmt.Sprintf("%d %s", 1+g.rng.Intn(999), g.pick(streets))),
+			value.Int(g.fkRef("nation", g.skewedNation())),
+			value.Str(g.phone()),
+			value.Float(g.money(-999.99, 9999.99)),
+		}
+	case "customer":
+		return []value.Value{
+			value.Int(int64(e)),
+			value.Str(fmt.Sprintf("Customer#%09d", e)),
+			value.Str(fmt.Sprintf("%d %s", 1+g.rng.Intn(999), g.pick(streets))),
+			value.Int(g.fkRef("nation", g.skewedNation())),
+			value.Str(g.phone()),
+			value.Float(g.money(-999.99, 9999.99)),
+			value.Str(g.pick(segments)),
+		}
+	case "part":
+		name := g.pickSkewed("forest", 0.05, colors) + " " +
+			g.pickSkewed("green", 0.10, colors) + " " + g.pick(colors) +
+			" " + g.pick(colors) + " " + g.pick(colors)
+		size := int64(1 + g.rng.Intn(50))
+		if g.rng.Float64() < 0.08 {
+			size = 15
+		}
+		return []value.Value{
+			value.Int(int64(e)),
+			value.Str(name),
+			value.Str(g.pick(mfgrs)),
+			value.Str(g.pickSkewed("Brand#23", 0.08,
+				[]string{"Brand#11", "Brand#12", "Brand#21", "Brand#31", "Brand#34", "Brand#43", "Brand#55"})),
+			value.Str(g.pick(typeSyllable1) + " " + g.pick(typeSyllable2) + " " +
+				g.pickSkewed("BRASS", 0.25, typeSyllable3)),
+			value.Int(size),
+			value.Str(g.container()),
+			value.Float(g.money(900, 2000)),
+		}
+	case "partsupp":
+		pe := g.randomEntity("part")
+		se := g.randomEntity("supplier")
+		g.psPart[e] = pe
+		g.psSupp[e] = se
+		return []value.Value{
+			value.Int(int64(e)),
+			value.Int(g.fkRef("part", pe)),
+			value.Int(g.fkRef("supplier", se)),
+			value.Int(int64(1 + g.rng.Intn(9999))),
+			value.Float(g.money(1, 1000)),
+		}
+	case "orders":
+		date := g.randDate(epochStart, 2406) // 1992-01-01 .. 1998-08-02
+		if g.orderDates == nil {
+			g.orderDates = make(map[int]string)
+		}
+		g.orderDates[e] = date
+		return []value.Value{
+			value.Int(int64(e)),
+			value.Int(g.fkRef("customer", g.randomEntity("customer"))),
+			value.Str(g.pick(statuses)),
+			value.Float(g.money(1000, 500000)),
+			value.Str(date),
+			value.Str(g.pick(priorities)),
+			value.Int(int64(g.rng.Intn(2))),
+		}
+	case "lineitem":
+		oe := g.randomEntity("orders")
+		pse := g.randomEntity("partsupp")
+		orderDate, _ := time.Parse(dateLayout, g.orderDates[oe])
+		ship := orderDate.AddDate(0, 0, 1+g.rng.Intn(121))
+		commit := orderDate.AddDate(0, 0, 30+g.rng.Intn(61))
+		receipt := ship.AddDate(0, 0, 1+g.rng.Intn(30))
+		qty := float64(1 + g.rng.Intn(50))
+		return []value.Value{
+			value.Int(int64(e)),
+			value.Int(g.fkRef("orders", oe)),
+			value.Int(g.fkRef("part", g.psPart[pse])),
+			value.Int(g.fkRef("supplier", g.psSupp[pse])),
+			value.Int(g.fkRef("partsupp", pse)),
+			value.Int(int64(1 + g.rng.Intn(7))),
+			value.Float(qty),
+			value.Float(g.money(900, 105000)),
+			value.Float(float64(g.rng.Intn(11)) / 100),
+			value.Float(float64(g.rng.Intn(9)) / 100),
+			value.Str(g.pick([]string{"R", "A", "N"})),
+			value.Str(g.pick([]string{"O", "F"})),
+			value.Str(ship.Format(dateLayout)),
+			value.Str(commit.Format(dateLayout)),
+			value.Str(receipt.Format(dateLayout)),
+			value.Str(g.pick(shipModes)),
+		}
+	}
+	panic("uisgen: unknown table " + table)
+}
+
+// container draws a container name, favoring Q17's MED BOX.
+func (g *generator) container() string {
+	if g.rng.Float64() < 0.06 {
+		return "MED BOX"
+	}
+	return g.pick(containers1) + " " + g.pick(containers2)
+}
+
+func (g *generator) phone() string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d",
+		10+g.rng.Intn(25), g.rng.Intn(1000), g.rng.Intn(1000), g.rng.Intn(10000))
+}
+
+// perturb derives a duplicate of a master row using the UIS error model:
+// strings get typos, numbers get ±10% noise, dates jitter by a few days,
+// and categorical values occasionally swap. Identifier columns (the first
+// column for every table, which carries the cluster identifier) and
+// foreign keys are never perturbed — duplication is about attribute
+// disagreement, not key corruption.
+func (g *generator) perturb(table string, master []value.Value) []value.Value {
+	row := make([]value.Value, len(master))
+	copy(row, master)
+	for i, v := range row {
+		if i == 0 || g.isFKColumn(table, i) {
+			continue
+		}
+		if g.rng.Float64() > 0.5 {
+			continue // leave roughly half the attributes untouched
+		}
+		switch v.Kind() {
+		case value.KindString:
+			s := v.AsString()
+			if looksLikeDate(s) {
+				t, err := time.Parse(dateLayout, s)
+				if err == nil {
+					row[i] = value.Str(t.AddDate(0, 0, g.rng.Intn(11)-5).Format(dateLayout))
+				}
+			} else {
+				row[i] = value.Str(g.typo(s))
+			}
+		case value.KindFloat:
+			f := v.AsFloat()
+			noise := 1 + (g.rng.Float64()-0.5)*0.2 // ±10%
+			row[i] = value.Float(float64(int(f*noise*100)) / 100)
+		case value.KindInt:
+			n := v.AsInt()
+			delta := int64(g.rng.Intn(5)) - 2
+			if n+delta > 0 {
+				row[i] = value.Int(n + delta)
+			}
+		}
+	}
+	return row
+}
+
+// isFKColumn reports whether column i of table is a foreign key (which
+// must stay intact for joins to remain meaningful).
+func (g *generator) isFKColumn(table string, i int) bool {
+	switch table {
+	case "nation":
+		return i == 2
+	case "supplier", "customer":
+		return i == 3
+	case "partsupp":
+		return i == 1 || i == 2
+	case "orders":
+		return i == 1
+	case "lineitem":
+		return i >= 1 && i <= 4
+	}
+	return false
+}
+
+func looksLikeDate(s string) bool {
+	return len(s) == 10 && s[4] == '-' && s[7] == '-' &&
+		strings.IndexFunc(s[:4], func(r rune) bool { return r < '0' || r > '9' }) < 0
+}
+
+// typo injects one of four classic data-entry errors.
+func (g *generator) typo(s string) string {
+	if len(s) < 2 {
+		return s + "x"
+	}
+	b := []byte(s)
+	pos := g.rng.Intn(len(b) - 1)
+	switch g.rng.Intn(4) {
+	case 0: // transpose
+		b[pos], b[pos+1] = b[pos+1], b[pos]
+		return string(b)
+	case 1: // drop
+		return string(append(b[:pos], b[pos+1:]...))
+	case 2: // duplicate
+		out := make([]byte, 0, len(b)+1)
+		out = append(out, b[:pos+1]...)
+		out = append(out, b[pos])
+		out = append(out, b[pos+1:]...)
+		return string(out)
+	default: // case flip
+		c := b[pos]
+		switch {
+		case c >= 'a' && c <= 'z':
+			b[pos] = c - 'a' + 'A'
+		case c >= 'A' && c <= 'Z':
+			b[pos] = c - 'A' + 'a'
+		default:
+			b[pos] = 'x'
+		}
+		return string(b)
+	}
+}

@@ -1,0 +1,73 @@
+package uisgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"conquer/internal/dirty"
+)
+
+// TableStats summarizes one relation's duplication structure.
+type TableStats struct {
+	Table     string
+	Rows      int
+	Clusters  int
+	MeanSize  float64
+	MaxSize   int
+	Histogram map[int]int // cluster size -> count
+}
+
+// Stats computes duplication statistics for every dirty relation of a
+// generated database — the sanity report datagen prints so users can see
+// the inconsistency factor at work.
+func Stats(d *dirty.DB) ([]TableStats, error) {
+	var out []TableStats
+	for _, name := range d.DirtyRelations() {
+		clusters, err := d.Clusters(name)
+		if err != nil {
+			return nil, err
+		}
+		tb, _ := d.Store.Table(name)
+		st := TableStats{
+			Table:     name,
+			Rows:      tb.Len(),
+			Clusters:  len(clusters),
+			Histogram: map[int]int{},
+		}
+		for _, c := range clusters {
+			n := len(c.Rows)
+			st.Histogram[n]++
+			if n > st.MaxSize {
+				st.MaxSize = n
+			}
+		}
+		if st.Clusters > 0 {
+			st.MeanSize = float64(st.Rows) / float64(st.Clusters)
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// FormatStats renders the statistics as an aligned table with a compact
+// size histogram.
+func FormatStats(stats []TableStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s  %8s  %8s  %6s  %4s  %s\n",
+		"table", "rows", "clusters", "mean", "max", "size histogram")
+	for _, st := range stats {
+		sizes := make([]int, 0, len(st.Histogram))
+		for n := range st.Histogram {
+			sizes = append(sizes, n)
+		}
+		sort.Ints(sizes)
+		var h []string
+		for _, n := range sizes {
+			h = append(h, fmt.Sprintf("%d:%d", n, st.Histogram[n]))
+		}
+		fmt.Fprintf(&b, "%-10s  %8d  %8d  %6.2f  %4d  %s\n",
+			st.Table, st.Rows, st.Clusters, st.MeanSize, st.MaxSize, strings.Join(h, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,369 @@
+package uisgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"conquer/internal/value"
+)
+
+func smallCfg() Config {
+	return Config{SF: 1, IF: 3, Scale: 0.0002, Seed: 1, Propagated: true, UniformProbs: true}
+}
+
+func TestGenerateProducesAllTables(t *testing.T) {
+	d, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := d.Store.TableNames()
+	if len(names) != 8 {
+		t.Fatalf("tables = %v", names)
+	}
+	for _, n := range names {
+		tb, _ := d.Store.Table(n)
+		if tb.Len() == 0 {
+			t.Errorf("table %s is empty", n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, _ := a.Store.Table("lineitem")
+	bt, _ := b.Store.Table("lineitem")
+	if at.Len() != bt.Len() {
+		t.Fatalf("sizes differ: %d vs %d", at.Len(), bt.Len())
+	}
+	for i := 0; i < at.Len(); i++ {
+		if !value.RowsIdentical(at.Row(i), bt.Row(i)) {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func TestGenerateValidatesAsDirtyDB(t *testing.T) {
+	d, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("generated database should validate: %v", err)
+	}
+}
+
+func TestClusterSizeDistribution(t *testing.T) {
+	for _, ifv := range []int{1, 2, 5} {
+		cfg := Config{SF: 1, IF: ifv, Scale: 0.001, Seed: 3, Propagated: true, UniformProbs: true}
+		d, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters, err := d.Clusters("lineitem")
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, maxSize := 0, 0
+		for _, c := range clusters {
+			total += len(c.Rows)
+			if len(c.Rows) > maxSize {
+				maxSize = len(c.Rows)
+			}
+		}
+		mean := float64(total) / float64(len(clusters))
+		if math.Abs(mean-float64(ifv)) > 0.35*float64(ifv)+0.2 {
+			t.Errorf("if=%d: mean cluster size %.2f, want ~%d", ifv, mean, ifv)
+		}
+		if maxSize > 2*ifv-1 {
+			t.Errorf("if=%d: max cluster size %d exceeds 2*if-1", ifv, maxSize)
+		}
+		if ifv == 1 && maxSize != 1 {
+			t.Errorf("if=1 must be perfectly clean, max cluster = %d", maxSize)
+		}
+	}
+}
+
+func TestEntitiesScaling(t *testing.T) {
+	cfg := Config{SF: 1, IF: 1, Scale: 0.001}
+	if got := Entities("lineitem", cfg); got != 6000 {
+		t.Errorf("lineitem entities = %d, want 6000", got)
+	}
+	if got := Entities("region", cfg); got != 5 {
+		t.Errorf("region entities = %d, want 5 (fixed)", got)
+	}
+	if got := Entities("nation", cfg); got != 25 {
+		t.Errorf("nation entities = %d, want 25 (fixed)", got)
+	}
+	cfg2 := Config{SF: 2, IF: 1, Scale: 0.001}
+	if got := Entities("customer", cfg2); got != 300 {
+		t.Errorf("sf=2 customer entities = %d, want 300", got)
+	}
+	// The inconsistency factor redistributes a fixed tuple budget into
+	// fewer, larger clusters: entities scale down by if.
+	cfg4 := Config{SF: 1, IF: 3, Scale: 0.001}
+	if got := Entities("lineitem", cfg4); got != 2000 {
+		t.Errorf("if=3 lineitem entities = %d, want 2000", got)
+	}
+	// Tiny scales floor at one entity.
+	cfg3 := Config{SF: 0.0001, IF: 1, Scale: 0.0001}
+	if got := Entities("supplier", cfg3); got != 1 {
+		t.Errorf("tiny scale entities = %d, want 1", got)
+	}
+}
+
+// The paper's sf fixes the database size: total tuples stay roughly
+// constant as the inconsistency factor grows (Figure 7's linear-scan
+// baseline is flat in if).
+func TestRowCountFlatInInconsistencyFactor(t *testing.T) {
+	var sizes []int
+	for _, ifv := range []int{1, 5, 25} {
+		d, err := Generate(Config{SF: 1, IF: ifv, Scale: 0.001, Seed: 4, Propagated: true, UniformProbs: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		li, _ := d.Store.Table("lineitem")
+		sizes = append(sizes, li.Len())
+	}
+	base := float64(sizes[0])
+	for i, n := range sizes {
+		ratio := float64(n) / base
+		if ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("lineitem rows vary too much with if: %v (index %d ratio %.2f)", sizes, i, ratio)
+		}
+	}
+}
+
+func TestGenerateConfigErrors(t *testing.T) {
+	if _, err := Generate(Config{SF: 0, IF: 1}); err == nil {
+		t.Error("SF=0 should fail")
+	}
+	if _, err := Generate(Config{SF: 1, IF: 0}); err == nil {
+		t.Error("IF=0 should fail")
+	}
+	if _, err := Generate(Config{SF: 1, IF: 1, Scale: -1}); err == nil {
+		t.Error("negative scale should fail")
+	}
+}
+
+func TestPropagatedForeignKeysJoin(t *testing.T) {
+	d, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every lineitem l_orderkey must be a valid orders identifier.
+	li, _ := d.Store.Table("lineitem")
+	ord, _ := d.Store.Table("orders")
+	validOrder := map[int64]bool{}
+	for _, r := range ord.Rows() {
+		validOrder[r[0].AsInt()] = true
+	}
+	for i := 0; i < li.Len(); i++ {
+		ok := validOrder[li.Row(i)[1].AsInt()]
+		if !ok {
+			t.Fatalf("lineitem row %d references unknown order %v", i, li.Row(i)[1])
+		}
+	}
+}
+
+func TestUnpropagatedThenPropagate(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Propagated = false
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-propagation FKs live in the rowkey range.
+	li, _ := d.Store.Table("lineitem")
+	if li.Row(0)[1].AsInt() < 1_000_000_000 {
+		t.Fatalf("unpropagated FK should be a rowkey: %v", li.Row(0)[1])
+	}
+	changed, err := d.PropagateAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 {
+		t.Fatal("propagation should rewrite foreign keys")
+	}
+	// Post-propagation they are identifiers.
+	ord, _ := d.Store.Table("orders")
+	validOrder := map[int64]bool{}
+	for _, r := range ord.Rows() {
+		validOrder[r[0].AsInt()] = true
+	}
+	for i := 0; i < li.Len(); i++ {
+		if !validOrder[li.Row(i)[1].AsInt()] {
+			t.Fatalf("lineitem row %d not propagated: %v", i, li.Row(i)[1])
+		}
+	}
+	// Propagated output matches the Propagated=true generation semantics:
+	// clusters and probabilities validate.
+	if err := d.Validate(); err != nil {
+		t.Errorf("propagated database should validate: %v", err)
+	}
+}
+
+func TestPartsuppConsistencyInLineitem(t *testing.T) {
+	d, err := Generate(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, _ := d.Store.Table("lineitem")
+	ps, _ := d.Store.Table("partsupp")
+	// Build partsupp identifier -> (partkey, suppkey) from master rows.
+	type pair struct{ p, s int64 }
+	psOf := map[int64]pair{}
+	for _, r := range ps.Rows() {
+		id := r[0].AsInt()
+		if _, ok := psOf[id]; !ok {
+			psOf[id] = pair{p: r[1].AsInt(), s: r[2].AsInt()}
+		}
+	}
+	for i := 0; i < li.Len(); i++ {
+		row := li.Row(i)
+		got, ok := psOf[row[4].AsInt()]
+		if !ok {
+			t.Fatalf("lineitem row %d references unknown partsupp %v", i, row[4])
+		}
+		if got.p != row[2].AsInt() || got.s != row[3].AsInt() {
+			t.Fatalf("lineitem row %d part/supp (%v,%v) inconsistent with partsupp (%v,%v)",
+				i, row[2], row[3], got.p, got.s)
+		}
+	}
+}
+
+func TestPerturbKeepsKeysAndChangesAttrs(t *testing.T) {
+	cfg := Config{SF: 1, IF: 5, Scale: 0.001, Seed: 9, Propagated: true, UniformProbs: true}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters, err := d.Clusters("customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	changedSomething := false
+	cust, _ := d.Store.Table("customer")
+	for _, c := range clusters {
+		if len(c.Rows) < 2 {
+			continue
+		}
+		master := cust.Row(c.Rows[0])
+		for _, ri := range c.Rows[1:] {
+			dup := cust.Row(ri)
+			// Identifier (col 0) intact.
+			if !value.Equal(dup[0], master[0]) {
+				t.Fatal("duplicate changed its cluster identifier")
+			}
+			// Nation FK (col 3) intact.
+			if !value.Equal(dup[3], master[3]) {
+				t.Fatal("duplicate changed its foreign key")
+			}
+			if !value.RowsIdentical(dup[1:3], master[1:3]) || !value.RowsIdentical(dup[4:7], master[4:7]) {
+				changedSomething = true
+			}
+		}
+	}
+	if !changedSomething {
+		t.Error("no duplicate row differs from its master; the error model is inert")
+	}
+}
+
+func TestOnlySubset(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Only = []string{"region", "nation"}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := d.Store.TableNames(); len(names) != 2 {
+		t.Errorf("tables = %v", names)
+	}
+}
+
+func TestUniformProbsOff(t *testing.T) {
+	cfg := smallCfg()
+	cfg.UniformProbs = false
+	cfg.Only = []string{"region"}
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := d.Store.Table("region")
+	if !tb.Row(0)[tb.Schema.ProbIndex()].IsNull() {
+		t.Error("prob should be NULL when UniformProbs is off")
+	}
+}
+
+func TestQuerySelectivityValuesPresent(t *testing.T) {
+	// The selection constants of the thirteen queries must actually occur
+	// in generated data, or every query would be trivially empty.
+	d, err := Generate(Config{SF: 1, IF: 2, Scale: 0.002, Seed: 2, Propagated: true, UniformProbs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasValue := func(table string, col int, want string) bool {
+		tb, _ := d.Store.Table(table)
+		for _, r := range tb.Rows() {
+			if r[col].Kind() == value.KindString && r[col].AsString() == want {
+				return true
+			}
+		}
+		return false
+	}
+	checks := []struct {
+		table string
+		col   int
+		want  string
+	}{
+		{"region", 1, "EUROPE"},
+		{"nation", 1, "GERMANY"},
+		{"nation", 1, "CANADA"},
+		{"customer", 6, "BUILDING"},
+	}
+	for _, c := range checks {
+		if !hasValue(c.table, c.col, c.want) {
+			t.Errorf("%s should contain %q", c.table, c.want)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, err := Generate(Config{SF: 1, IF: 3, Scale: 0.0005, Seed: 8, Propagated: true, UniformProbs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Stats(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 8 {
+		t.Fatalf("stats for %d tables", len(stats))
+	}
+	for _, st := range stats {
+		total := 0
+		for size, count := range st.Histogram {
+			total += size * count
+		}
+		if total != st.Rows {
+			t.Errorf("%s: histogram accounts for %d of %d rows", st.Table, total, st.Rows)
+		}
+		if st.MaxSize > 5 { // 2*if-1
+			t.Errorf("%s: max cluster %d exceeds 2*if-1", st.Table, st.MaxSize)
+		}
+		if st.Clusters == 0 || st.MeanSize <= 0 {
+			t.Errorf("%s: degenerate stats %+v", st.Table, st)
+		}
+	}
+	out := FormatStats(stats)
+	if !strings.Contains(out, "lineitem") || !strings.Contains(out, "histogram") {
+		t.Errorf("FormatStats:\n%s", out)
+	}
+}

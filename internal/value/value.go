@@ -1,0 +1,435 @@
+// Package value implements the typed value system used throughout the
+// engine: nullable integers, floats, strings and booleans, with SQL-style
+// comparison, arithmetic and hashing semantics.
+//
+// Dates are represented as strings in ISO-8601 form (YYYY-MM-DD); their
+// lexicographic order coincides with chronological order, so no dedicated
+// date kind is needed by the query subset this engine supports.
+package value
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types a Value can take.
+type Kind uint8
+
+const (
+	// KindNull is the SQL NULL marker.
+	KindNull Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE-754 float.
+	KindFloat
+	// KindString is an immutable UTF-8 string.
+	KindString
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a SQL type name (as used in CREATE TABLE and the
+// catalog files) into a Kind. It accepts the common synonyms.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC":
+		return KindFloat, nil
+	case "VARCHAR", "CHAR", "TEXT", "STRING", "DATE":
+		return KindString, nil
+	case "BOOL", "BOOLEAN":
+		return KindBool, nil
+	default:
+		return KindNull, fmt.Errorf("value: unknown type name %q", s)
+	}
+}
+
+// Value is a dynamically typed SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, s: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the runtime type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the integer payload. It panics unless Kind is KindInt.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic("value: AsInt on " + v.kind.String())
+	}
+	return v.i
+}
+
+// AsFloat returns the numeric payload widened to float64. It panics unless
+// the value is numeric.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	}
+	panic("value: AsFloat on " + v.kind.String())
+}
+
+// AsString returns the string payload. It panics unless Kind is KindString.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("value: AsString on " + v.kind.String())
+	}
+	return v.s
+}
+
+// AsBool returns the boolean payload. It panics unless Kind is KindBool.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("value: AsBool on " + v.kind.String())
+	}
+	return v.b
+}
+
+// IsNumeric reports whether v is an int or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// String renders the value for display. NULL renders as "NULL"; floats use
+// a compact decimal form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Parse converts the textual form s into a Value of the given kind. Empty
+// strings parse to NULL for every kind, matching the CSV convention used by
+// the storage layer.
+func Parse(kind Kind, s string) (Value, error) {
+	if s == "" {
+		return Null(), nil
+	}
+	switch kind {
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("value: parsing %q as INTEGER: %w", s, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("value: parsing %q as FLOAT: %w", s, err)
+		}
+		return Float(f), nil
+	case KindString:
+		return Str(s), nil
+	case KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return Null(), fmt.Errorf("value: parsing %q as BOOLEAN: %w", s, err)
+		}
+		return Bool(b), nil
+	case KindNull:
+		return Null(), nil
+	default:
+		return Null(), fmt.Errorf("value: cannot parse into %v", kind)
+	}
+}
+
+// Compare orders a before b and returns -1, 0 or +1. Numeric kinds compare
+// by value across int/float. NULL sorts before every non-NULL value (the
+// ordering used by ORDER BY); use Equal or the comparison operators for
+// SQL predicate semantics, where NULL never matches.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		if a.kind == KindInt && b.kind == KindInt {
+			switch {
+			case a.i < b.i:
+				return -1
+			case a.i > b.i:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind != b.kind {
+		// Incomparable kinds: order by kind tag so sorting is total.
+		if a.kind < b.kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindBool:
+		switch {
+		case a.b == b.b:
+			return 0
+		case !a.b:
+			return -1
+		default:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether a and b are equal under predicate semantics: NULL
+// is equal to nothing, including NULL.
+func Equal(a, b Value) bool {
+	if a.kind == KindNull || b.kind == KindNull {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Identical reports whether a and b are indistinguishable values, treating
+// NULL as identical to NULL. It is the equality used by GROUP BY and
+// DISTINCT.
+func Identical(a, b Value) bool {
+	if a.kind == KindNull && b.kind == KindNull {
+		return true
+	}
+	if a.kind == KindNull || b.kind == KindNull {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// arithmetic errors
+var errNonNumeric = fmt.Errorf("value: arithmetic on non-numeric operand")
+
+func arith(a, b Value, intOp func(int64, int64) (int64, error), floatOp func(float64, float64) float64) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null(), errNonNumeric
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		r, err := intOp(a.i, b.i)
+		if err != nil {
+			return Null(), err
+		}
+		return Int(r), nil
+	}
+	return Float(floatOp(a.AsFloat(), b.AsFloat())), nil
+}
+
+// Add returns a + b with numeric widening; NULL propagates.
+func Add(a, b Value) (Value, error) {
+	return arith(a, b,
+		func(x, y int64) (int64, error) { return x + y, nil },
+		func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns a - b with numeric widening; NULL propagates.
+func Sub(a, b Value) (Value, error) {
+	return arith(a, b,
+		func(x, y int64) (int64, error) { return x - y, nil },
+		func(x, y float64) float64 { return x - y })
+}
+
+// Mul returns a * b with numeric widening; NULL propagates.
+func Mul(a, b Value) (Value, error) {
+	return arith(a, b,
+		func(x, y int64) (int64, error) { return x * y, nil },
+		func(x, y float64) float64 { return x * y })
+}
+
+// Div returns a / b. Integer division of two ints truncates, as in SQL.
+// Division by zero is an error; NULL propagates.
+func Div(a, b Value) (Value, error) {
+	return arith(a, b,
+		func(x, y int64) (int64, error) {
+			if y == 0 {
+				return 0, fmt.Errorf("value: integer division by zero")
+			}
+			return x / y, nil
+		},
+		func(x, y float64) float64 { return x / y })
+}
+
+// Neg returns -a; NULL propagates.
+func Neg(a Value) (Value, error) {
+	switch a.kind {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		return Int(-a.i), nil
+	case KindFloat:
+		return Float(-a.f), nil
+	}
+	return Null(), errNonNumeric
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// Kind tags mixed into numeric hashes so values of different kinds rarely
+// collide; chosen as arbitrary odd 64-bit constants.
+const (
+	hashNull  = 0x9e3779b97f4a7c15
+	hashInt   = 0xbf58476d1ce4e5b9
+	hashFloat = 0x94d049bb133111eb
+	hashTrue  = 0x2545f4914f6cdd1d
+	hashFalse = 0x27220a95fe5cae5b
+)
+
+// Hash returns a hash of v such that Identical values hash equally, with
+// int/float numeric agreement (Int(2) and Float(2.0) hash the same because
+// they compare equal). Numeric kinds use an inline splitmix64 finalizer;
+// strings use hash/maphash's string fast path.
+func Hash(v Value) uint64 {
+	switch v.kind {
+	case KindNull:
+		return hashNull
+	case KindInt:
+		return mix64(uint64(v.i) ^ hashInt)
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			// Normalize integral floats to the int encoding so that
+			// numeric equality implies hash equality.
+			return mix64(uint64(int64(v.f)) ^ hashInt)
+		}
+		return mix64(math.Float64bits(v.f) ^ hashFloat)
+	case KindString:
+		return maphash.String(hashSeed, v.s)
+	case KindBool:
+		if v.b {
+			return hashTrue
+		}
+		return hashFalse
+	}
+	return 0
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashRow combines the hashes of a tuple of values.
+func HashRow(vs []Value) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range vs {
+		h ^= Hash(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RowsIdentical reports element-wise Identical over two equal-length rows.
+func RowsIdentical(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Identical(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompareRows orders rows lexicographically using Compare.
+func CompareRows(a, b []Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}

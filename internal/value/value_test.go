@@ -1,0 +1,379 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindInt:    "INTEGER",
+		KindFloat:  "FLOAT",
+		KindString: "VARCHAR",
+		KindBool:   "BOOLEAN",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+	}{
+		{"int", KindInt}, {"INTEGER", KindInt}, {"BigInt", KindInt},
+		{"float", KindFloat}, {"DECIMAL", KindFloat}, {"double", KindFloat},
+		{"varchar", KindString}, {"date", KindString}, {"TEXT", KindString},
+		{"bool", KindBool},
+	}
+	for _, c := range cases {
+		got, err := ParseKind(c.in)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseKind(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(blob) should fail")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() not null")
+	}
+	if Int(7).AsInt() != 7 {
+		t.Error("Int accessor")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float accessor")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("int widening via AsFloat")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("Str accessor")
+	}
+	if !Bool(true).AsBool() {
+		t.Error("Bool accessor")
+	}
+	if !Int(1).IsNumeric() || !Float(1).IsNumeric() || Str("1").IsNumeric() {
+		t.Error("IsNumeric misclassifies")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("AsInt on string", func() { Str("x").AsInt() })
+	mustPanic("AsString on int", func() { Int(1).AsString() })
+	mustPanic("AsBool on null", func() { Null().AsBool() })
+	mustPanic("AsFloat on string", func() { Str("x").AsFloat() })
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Int(-42), "-42"},
+		{Float(0.25), "0.25"},
+		{Str("hello"), "hello"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	v, err := Parse(KindInt, "123")
+	if err != nil || v.AsInt() != 123 {
+		t.Errorf("Parse int: %v %v", v, err)
+	}
+	v, err = Parse(KindFloat, "1.5")
+	if err != nil || v.AsFloat() != 1.5 {
+		t.Errorf("Parse float: %v %v", v, err)
+	}
+	v, err = Parse(KindString, "abc")
+	if err != nil || v.AsString() != "abc" {
+		t.Errorf("Parse string: %v %v", v, err)
+	}
+	v, err = Parse(KindBool, "true")
+	if err != nil || !v.AsBool() {
+		t.Errorf("Parse bool: %v %v", v, err)
+	}
+	// Empty strings parse to NULL for every kind.
+	for _, k := range []Kind{KindInt, KindFloat, KindString, KindBool} {
+		v, err := Parse(k, "")
+		if err != nil || !v.IsNull() {
+			t.Errorf("Parse(%v, \"\") = %v, %v; want NULL", k, v, err)
+		}
+	}
+	if _, err := Parse(KindInt, "xyz"); err == nil {
+		t.Error("Parse(int, xyz) should fail")
+	}
+	if _, err := Parse(KindBool, "maybe"); err == nil {
+		t.Error("Parse(bool, maybe) should fail")
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	if Compare(Int(2), Float(2.0)) != 0 {
+		t.Error("Int(2) != Float(2.0)")
+	}
+	if Compare(Int(2), Float(2.5)) != -1 {
+		t.Error("Int(2) should be < Float(2.5)")
+	}
+	if Compare(Float(3.5), Int(3)) != 1 {
+		t.Error("Float(3.5) should be > Int(3)")
+	}
+	if Compare(Int(5), Int(5)) != 0 || Compare(Int(4), Int(5)) != -1 || Compare(Int(6), Int(5)) != 1 {
+		t.Error("int ordering")
+	}
+}
+
+func TestCompareStringsAndBools(t *testing.T) {
+	if Compare(Str("a"), Str("b")) != -1 || Compare(Str("b"), Str("a")) != 1 || Compare(Str("a"), Str("a")) != 0 {
+		t.Error("string ordering")
+	}
+	// ISO dates order correctly as strings.
+	if Compare(Str("1995-03-15"), Str("1996-01-01")) != -1 {
+		t.Error("ISO date string ordering")
+	}
+	if Compare(Bool(false), Bool(true)) != -1 || Compare(Bool(true), Bool(false)) != 1 {
+		t.Error("bool ordering")
+	}
+}
+
+func TestCompareNulls(t *testing.T) {
+	if Compare(Null(), Null()) != 0 {
+		t.Error("NULL should sort equal to NULL")
+	}
+	if Compare(Null(), Int(0)) != -1 || Compare(Int(0), Null()) != 1 {
+		t.Error("NULL should sort first")
+	}
+}
+
+func TestEqualVsIdentical(t *testing.T) {
+	if Equal(Null(), Null()) {
+		t.Error("Equal(NULL, NULL) must be false (predicate semantics)")
+	}
+	if !Identical(Null(), Null()) {
+		t.Error("Identical(NULL, NULL) must be true (grouping semantics)")
+	}
+	if Equal(Null(), Int(1)) || Identical(Null(), Int(1)) {
+		t.Error("NULL vs non-null")
+	}
+	if !Equal(Int(2), Float(2)) || !Identical(Int(2), Float(2)) {
+		t.Error("numeric cross-kind equality")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	check := func(got Value, err error, want Value) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if !Identical(got, want) {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+	v, err := Add(Int(2), Int(3))
+	check(v, err, Int(5))
+	v, err = Add(Int(2), Float(0.5))
+	check(v, err, Float(2.5))
+	v, err = Sub(Int(2), Int(5))
+	check(v, err, Int(-3))
+	v, err = Mul(Float(1.5), Int(4))
+	check(v, err, Float(6))
+	v, err = Div(Int(7), Int(2))
+	check(v, err, Int(3)) // SQL integer division truncates
+	v, err = Div(Float(7), Int(2))
+	check(v, err, Float(3.5))
+	v, err = Neg(Int(4))
+	check(v, err, Int(-4))
+	v, err = Neg(Float(-2.5))
+	check(v, err, Float(2.5))
+}
+
+func TestArithmeticNullPropagation(t *testing.T) {
+	for _, f := range []func(Value, Value) (Value, error){Add, Sub, Mul, Div} {
+		v, err := f(Null(), Int(1))
+		if err != nil || !v.IsNull() {
+			t.Errorf("null lhs should propagate, got %v %v", v, err)
+		}
+		v, err = f(Int(1), Null())
+		if err != nil || !v.IsNull() {
+			t.Errorf("null rhs should propagate, got %v %v", v, err)
+		}
+	}
+	v, err := Neg(Null())
+	if err != nil || !v.IsNull() {
+		t.Errorf("Neg(NULL) should be NULL, got %v %v", v, err)
+	}
+}
+
+func TestArithmeticErrors(t *testing.T) {
+	if _, err := Add(Str("a"), Int(1)); err == nil {
+		t.Error("string arithmetic should fail")
+	}
+	if _, err := Div(Int(1), Int(0)); err == nil {
+		t.Error("integer division by zero should fail")
+	}
+	if _, err := Neg(Str("a")); err == nil {
+		t.Error("Neg of string should fail")
+	}
+	// Float division by zero yields IEEE infinity rather than an error.
+	v, err := Div(Float(1), Float(0))
+	if err != nil || !math.IsInf(v.AsFloat(), 1) {
+		t.Errorf("float div by zero: got %v %v", v, err)
+	}
+}
+
+func TestHashConsistency(t *testing.T) {
+	if Hash(Int(2)) != Hash(Float(2.0)) {
+		t.Error("Int(2) and Float(2.0) must hash the same (they compare equal)")
+	}
+	if Hash(Str("a")) == Hash(Str("b")) {
+		t.Error("distinct strings should (almost surely) hash differently")
+	}
+	if Hash(Null()) != Hash(Null()) {
+		t.Error("NULL hash must be deterministic")
+	}
+}
+
+func TestHashRowAndRowsIdentical(t *testing.T) {
+	a := []Value{Int(1), Str("x"), Null()}
+	b := []Value{Int(1), Str("x"), Null()}
+	c := []Value{Int(1), Str("y"), Null()}
+	if HashRow(a) != HashRow(b) {
+		t.Error("identical rows must hash equally")
+	}
+	if !RowsIdentical(a, b) {
+		t.Error("RowsIdentical(a, b)")
+	}
+	if RowsIdentical(a, c) {
+		t.Error("rows differ in column 1")
+	}
+	if RowsIdentical(a, a[:2]) {
+		t.Error("length mismatch must not be identical")
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	if CompareRows([]Value{Int(1), Int(2)}, []Value{Int(1), Int(3)}) != -1 {
+		t.Error("lexicographic order")
+	}
+	if CompareRows([]Value{Int(1)}, []Value{Int(1), Int(0)}) != -1 {
+		t.Error("prefix sorts first")
+	}
+	if CompareRows([]Value{Int(2)}, []Value{Int(1), Int(9)}) != 1 {
+		t.Error("first column dominates")
+	}
+	if CompareRows([]Value{Int(1), Int(2)}, []Value{Int(1), Int(2)}) != 0 {
+		t.Error("equal rows")
+	}
+}
+
+// Property: Compare is antisymmetric and Identical values hash equally.
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return Compare(va, vb) == -Compare(vb, va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualityProperty(t *testing.T) {
+	f := func(x int64) bool {
+		return Hash(Int(x)) == Hash(Int(x)) && Identical(Int(x), Int(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(s string) bool {
+		return Hash(Str(s)) == Hash(Str(s))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arithmetic identities on ints.
+func TestArithmeticIdentityProperties(t *testing.T) {
+	addComm := func(a, b int32) bool {
+		x, err1 := Add(Int(int64(a)), Int(int64(b)))
+		y, err2 := Add(Int(int64(b)), Int(int64(a)))
+		return err1 == nil && err2 == nil && Identical(x, y)
+	}
+	if err := quick.Check(addComm, nil); err != nil {
+		t.Error("Add not commutative:", err)
+	}
+	subInverse := func(a, b int32) bool {
+		s, _ := Add(Int(int64(a)), Int(int64(b)))
+		d, _ := Sub(s, Int(int64(b)))
+		return Identical(d, Int(int64(a)))
+	}
+	if err := quick.Check(subInverse, nil); err != nil {
+		t.Error("Add/Sub not inverse:", err)
+	}
+}
+
+func TestValueKindAccessor(t *testing.T) {
+	if Int(1).Kind() != KindInt || Str("").Kind() != KindString ||
+		Null().Kind() != KindNull || Bool(true).Kind() != KindBool ||
+		Float(1).Kind() != KindFloat {
+		t.Error("Kind accessor misreports")
+	}
+}
+
+func TestArithmeticNonNumericAllOps(t *testing.T) {
+	for name, f := range map[string]func(Value, Value) (Value, error){
+		"Sub": Sub, "Mul": Mul,
+	} {
+		if _, err := f(Str("a"), Int(1)); err == nil {
+			t.Errorf("%s over string should fail", name)
+		}
+	}
+}
+
+func TestHashAllKinds(t *testing.T) {
+	vals := []Value{Null(), Int(7), Float(7), Float(2.5), Str("x"), Bool(true), Bool(false)}
+	for _, v := range vals {
+		if Hash(v) != Hash(v) {
+			t.Errorf("hash of %v not deterministic", v)
+		}
+	}
+	if Hash(Bool(true)) == Hash(Bool(false)) {
+		t.Error("true and false must differ")
+	}
+	if Hash(Float(2.5)) == Hash(Float(3.5)) {
+		t.Error("distinct floats should (almost surely) differ")
+	}
+	// Non-integral floats use the float tag path.
+	if Hash(Float(2.5)) == Hash(Int(2)) {
+		t.Error("2.5 must not collide with 2 by construction")
+	}
+}
