@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test lint race fmt
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint = formatting gate + standard vet + the in-tree analyzer suite
+# (floatcmp, nopanic, errwrap, probflow; see DESIGN.md §7).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/conquerlint ./...
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,83 @@
+// Command conquerlint is the multichecker for the ConQuer analyzer
+// suite: it type-checks the requested packages and runs every analyzer
+// under internal/analysis/passes, printing findings in the familiar
+// file:line:col form and exiting non-zero when any survive.
+//
+// Usage:
+//
+//	conquerlint [-only floatcmp,nopanic] [-list] [packages...]
+//
+// Package patterns are module-relative directories, with "./..."
+// recursion; the default is "./...". Suppress an individual finding with
+// a "//lint:allow <analyzer> -- reason" comment on the offending line or
+// the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"conquer/internal/analysis"
+	"conquer/internal/analysis/driver"
+	"conquer/internal/analysis/load"
+	"conquer/internal/analysis/passes"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Parse()
+
+	suite := passes.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "conquerlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			picked = append(picked, a)
+		}
+		suite = picked
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cfg, err := load.MainModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conquerlint: %v\n", err)
+		os.Exit(2)
+	}
+	fset, pkgs, err := cfg.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conquerlint: %v\n", err)
+		os.Exit(2)
+	}
+	findings, err := driver.Run(fset, pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conquerlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "conquerlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

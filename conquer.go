@@ -96,6 +96,7 @@ type TableOption struct {
 // column and prob the probability column; either is added (STRING / FLOAT)
 // if not declared.
 func WithDirty(identifier, prob string) TableOption {
+	//lint:allow probflow -- metadata-only: probabilities are checked by Database.Validate / NormalizeProbabilities after loading
 	return TableOption{apply: func(r *schema.Relation) error { return r.SetDirty(identifier, prob) }}
 }
 
@@ -129,10 +130,11 @@ func (db *Database) CreateTable(name string, cols []Column, opts ...TableOption)
 	return err
 }
 
-// MustCreateTable is CreateTable that panics on error.
+// MustCreateTable is CreateTable that panics on error; for tests and
+// static fixtures only.
 func (db *Database) MustCreateTable(name string, cols []Column, opts ...TableOption) {
 	if err := db.CreateTable(name, cols, opts...); err != nil {
-		panic(err)
+		panic(err) //lint:allow nopanic -- fixture constructor, documented to panic
 	}
 }
 
@@ -155,10 +157,11 @@ func (db *Database) Insert(table string, values ...any) error {
 	return tb.Insert(row)
 }
 
-// MustInsert is Insert that panics on error.
+// MustInsert is Insert that panics on error; for tests and static
+// fixtures only.
 func (db *Database) MustInsert(table string, values ...any) {
 	if err := db.Insert(table, values...); err != nil {
-		panic(err)
+		panic(err) //lint:allow nopanic -- fixture constructor, documented to panic
 	}
 }
 

@@ -1,0 +1,134 @@
+// Package analysis is a self-contained, stdlib-only re-implementation of
+// the golang.org/x/tools/go/analysis core: named analyzers that inspect
+// type-checked packages and report position-tagged diagnostics.
+//
+// The x/tools module is deliberately not vendored — the toolchain is the
+// only dependency this repository allows itself — so the surface here is
+// the minimal subset the conquerlint suite needs: an Analyzer with a Run
+// function, a Pass carrying the syntax trees and type information of one
+// package, and diagnostic reporting with source-level suppression via
+// "//lint:allow <analyzer>" annotations (see Suppressor).
+//
+// The suite exists to mechanize the paper's fragile invariants: cluster
+// probabilities summing to 1 (Dfn 2), the exclusivity/independence
+// assumptions behind RewriteClean's probability arithmetic (Thm 1), and
+// the rewritability preconditions on the join tree (Dfn 6). See the
+// analyzers under internal/analysis/passes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one static check. Run inspects a single package via its
+// Pass and reports diagnostics through pass.Report; the return value is
+// unused by the current drivers but kept for x/tools shape-compatibility.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in -only flags and lint:allow annotations
+	Doc  string // one-paragraph description, shown by conquerlint -list
+	Run  func(*Pass) (any, error)
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries everything an Analyzer may inspect about one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Drivers install a hook that applies
+	// lint:allow suppression before recording the finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// allowPrefix introduces a suppression comment. The full syntax is
+//
+//	//lint:allow name1,name2 [-- free-text reason]
+//
+// placed either at the end of the offending line or on a line of its own
+// immediately above it.
+const allowPrefix = "lint:allow"
+
+// A Suppressor answers whether a diagnostic of a given analyzer at a given
+// position has been explicitly waived in the source.
+type Suppressor struct {
+	fset *token.FileSet
+	// allowed maps file name -> line -> analyzer names waived there.
+	allowed map[string]map[int]map[string]bool
+}
+
+// NewSuppressor scans the comments of files for lint:allow annotations.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{fset: fset, allowed: make(map[string]map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				// Strip an optional "-- reason" tail, then the first
+				// whitespace-delimited token is the name list.
+				if i := strings.Index(rest, "--"); i >= 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				name := rest
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name = rest[:i]
+				}
+				pos := fset.Position(c.Pos())
+				byLine := s.allowed[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					s.allowed[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					byLine[pos.Line] = names
+				}
+				for _, n := range strings.Split(name, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names[n] = true
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Allowed reports whether analyzer name is waived at pos: an annotation on
+// the same line or on the line directly above covers the diagnostic.
+func (s *Suppressor) Allowed(name string, pos token.Pos) bool {
+	p := s.fset.Position(pos)
+	byLine := s.allowed[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[p.Line][name] || byLine[p.Line-1][name]
+}

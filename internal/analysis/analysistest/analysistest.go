@@ -1,0 +1,111 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against "// want" comments, mirroring the x/tools
+// harness of the same name.
+//
+// A fixture tree lives under <testdata>/src/<pkgpath>/ and marks each
+// expected diagnostic with a comment on the offending line:
+//
+//	p := a == b // want `floating-point equality`
+//	// want accepts one or more double-quoted regular expressions.
+//
+// Diagnostics suppressed by lint:allow annotations never reach the
+// matcher, so fixtures also exercise the suppression path by combining a
+// violation, an annotation and the absence of a want comment.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"conquer/internal/analysis"
+	"conquer/internal/analysis/driver"
+	"conquer/internal/analysis/load"
+)
+
+// wantRE extracts the quoted expectation strings of a want comment:
+// double-quoted or backquoted, as in x/tools.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// commentRE recognizes a want comment and captures its body.
+var commentRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package below testdata/src, applies the analyzer
+// and reports any mismatch between diagnostics and want comments as test
+// errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	cfg := load.Config{Root: filepath.Join(testdata, "src")}
+	fset, pkgs, err := cfg.Load(pkgpaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) != len(pkgpaths) {
+		t.Fatalf("loaded %d packages for %d patterns %v", len(pkgs), len(pkgpaths), pkgpaths)
+	}
+
+	// Collect expectations keyed by (file, line).
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*expectation)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := commentRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					k := key{file: pos.Filename, line: pos.Line}
+					for _, q := range wantRE.FindAllString(m[1], -1) {
+						pat, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants[k] = append(wants[k], &expectation{re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+
+	findings, err := driver.Run(fset, pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, f := range findings {
+		k := key{file: f.Pos.Filename, line: f.Pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", f)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package errwrap defines an analyzer enforcing the error-handling
+// contract of the storage and probability layers.
+//
+// Two rules:
+//
+//  1. fmt.Errorf calls that format an error value must wrap it with %w,
+//     so callers can errors.Is/As through the engine's layered returns.
+//  2. Calls into the storage or probcalc packages whose error result is
+//     silently dropped (a bare expression statement) are flagged: those
+//     APIs report data corruption — arity mismatches, unknown columns,
+//     broken cluster metadata — that must not be ignored. Assigning the
+//     error to _ is the explicit, visible opt-out and is not flagged.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path"
+	"strings"
+
+	"conquer/internal/analysis"
+)
+
+// Analyzer enforces %w wrapping and checked error returns.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc:  "require fmt.Errorf to wrap errors with %w and forbid discarding storage/probcalc error returns",
+	Run:  run,
+}
+
+// watched lists the final import-path segments whose APIs must not have
+// their errors dropped.
+var watched = map[string]bool{"storage": true, "probcalc": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	errorType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n, errorType)
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscard(pass, call)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkErrorf flags fmt.Errorf("...", err) without a %w verb.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, errorType *types.Interface) {
+	fn := callee(pass, call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		at := pass.TypesInfo.Types[arg].Type
+		if at != nil && types.Implements(at, errorType) {
+			pass.Reportf(call.Lparen, "fmt.Errorf formats an error without %%w; wrap it so callers can unwrap")
+			return
+		}
+	}
+}
+
+// checkDiscard flags expression statements that drop the error result of
+// a watched package's API.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil || !watched[path.Base(fn.Pkg().Path())] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	errType := types.Universe.Lookup("error").Type()
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errType) {
+			pass.Reportf(call.Lparen, "error returned by %s.%s is discarded; handle it or assign it to _ explicitly",
+				path.Base(fn.Pkg().Path()), fn.Name())
+			return
+		}
+	}
+}
+
+// callee resolves the called *types.Func, or nil for indirect calls and
+// builtins.
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[f.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}

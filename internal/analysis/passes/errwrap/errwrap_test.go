@@ -1,0 +1,12 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"conquer/internal/analysis/analysistest"
+	"conquer/internal/analysis/passes/errwrap"
+)
+
+func TestErrwrap(t *testing.T) {
+	analysistest.Run(t, "testdata", errwrap.Analyzer, "errwrapfix")
+}

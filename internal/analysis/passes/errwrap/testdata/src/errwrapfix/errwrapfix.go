@@ -1,0 +1,43 @@
+// Package errwrapfix seeds error-wrapping and error-discarding
+// violations.
+package errwrapfix
+
+import (
+	"fmt"
+
+	"errwrapfix/storage"
+)
+
+// load exercises both rules.
+func load(t *storage.Table, rows [][]string) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return fmt.Errorf("loading row: %v", err) // want `fmt.Errorf formats an error without %w`
+		}
+	}
+	return nil
+}
+
+// wrapped is the compliant form of load's error path.
+func wrapped(t *storage.Table, r []string) error {
+	if err := t.Insert(r); err != nil {
+		return fmt.Errorf("loading row: %w", err)
+	}
+	return nil
+}
+
+// fireAndForget drops a storage error on the floor.
+func fireAndForget(t *storage.Table, r []string) {
+	t.Insert(r) // want `error returned by storage.Insert is discarded`
+	t.Len()     // no error result: fine
+}
+
+// optOut makes the discard explicit, which is allowed.
+func optOut(t *storage.Table, r []string) {
+	_ = t.Insert(r)
+}
+
+// describe has an error-free Errorf: no error operands, nothing to wrap.
+func describe(t *storage.Table) error {
+	return fmt.Errorf("table holds %d rows", t.Len())
+}

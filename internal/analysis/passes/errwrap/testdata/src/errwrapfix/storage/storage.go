@@ -1,0 +1,23 @@
+// Package storage mimics the real storage API: error-returning data
+// operations whose results must not be dropped.
+package storage
+
+import "fmt"
+
+// Table is a stand-in row store.
+type Table struct {
+	rows int
+	cap  int
+}
+
+// Insert appends a row, failing when the table is full.
+func (t *Table) Insert(row []string) error {
+	if t.rows >= t.cap {
+		return fmt.Errorf("storage: table full at %d rows", t.cap)
+	}
+	t.rows++
+	return nil
+}
+
+// Len returns the number of rows (no error result).
+func (t *Table) Len() int { return t.rows }

@@ -1,0 +1,55 @@
+// Package floatcmp defines an analyzer that flags == and != between
+// floating-point values.
+//
+// Probability arithmetic is the backbone of the paper's semantics: Dfn 2
+// requires per-cluster probabilities to sum to 1, and RewriteClean's
+// correctness (Thm 1) multiplies and sums such values. After a handful of
+// float64 operations, exact equality is meaningless — comparisons must go
+// through the epsilon helpers value.ProbEq / value.FloatEq. Intentional
+// exact comparisons (bit-level normalization, NaN tricks) carry a
+// "//lint:allow floatcmp" annotation.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"conquer/internal/analysis"
+)
+
+// Analyzer flags floating-point equality comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag == and != on floating-point values; use value.ProbEq / value.FloatEq (Dfn 2 tolerances) instead",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, y := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+			// Two untyped constants compare exactly at compile time.
+			if x.Value != nil && y.Value != nil {
+				return true
+			}
+			if isFloat(x.Type) || isFloat(y.Type) {
+				pass.Reportf(be.OpPos, "floating-point equality comparison (%s); use value.ProbEq or value.FloatEq", be.Op)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,43 @@
+// Package floatcmpfix seeds floating-point equality violations.
+package floatcmpfix
+
+import "math"
+
+// ProbEpsilon mimics the real epsilon helper's tolerance.
+const ProbEpsilon = 1e-6
+
+type answer struct {
+	prob float64
+	rank int
+}
+
+func sumsToOne(probs []float64) bool {
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	return sum == 1 // want `floating-point equality comparison`
+}
+
+func sameAnswer(a, b answer) bool {
+	if a.rank != b.rank { // integer comparison: fine
+		return false
+	}
+	return a.prob != b.prob // want `floating-point equality comparison`
+}
+
+func mixed(p float64, n int) bool {
+	return p == float64(n) // want `floating-point equality comparison`
+}
+
+func viaEpsilon(a, b float64) bool {
+	return math.Abs(a-b) <= ProbEpsilon // compliant: epsilon comparison
+}
+
+func constFold() bool {
+	return 0.1+0.2 == 0.3 // both operands constant: folded at compile time
+}
+
+func allowed(p float64) bool {
+	return p == math.Trunc(p) //lint:allow floatcmp -- intentional exactness probe
+}

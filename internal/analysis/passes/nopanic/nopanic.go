@@ -1,0 +1,53 @@
+// Package nopanic defines an analyzer that forbids panic in library
+// packages.
+//
+// The paper's pipeline ingests dirty data by definition, so data errors
+// are expected operating conditions, not programming bugs: library code
+// must surface them as wrapped errors the engine can attach cluster and
+// relation context to, never as process-killing panics. Binaries (package
+// main) and _test.go files are exempt. Genuinely unreachable panics —
+// exhaustive type switches, statically impossible arity errors, Must*
+// fixture constructors — must carry a "//lint:allow nopanic" annotation
+// with a reason.
+package nopanic
+
+import (
+	"go/ast"
+	"go/types"
+
+	"conquer/internal/analysis"
+)
+
+// Analyzer flags panic calls in non-main, non-test code.
+var Analyzer = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic() in library packages; dirty-data errors must be returned as wrapped errors",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if pass.TypesInfo.Uses[id] != types.Universe.Lookup("panic") {
+				return true // shadowed: some local function named panic
+			}
+			pass.Reportf(call.Lparen, "panic in library package %s; return a wrapped error instead", pass.Pkg.Name())
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"conquer/internal/analysis/analysistest"
+	"conquer/internal/analysis/passes/nopanic"
+)
+
+func TestNopanic(t *testing.T) {
+	analysistest.Run(t, "testdata", nopanic.Analyzer, "nopanicfix", "nopanicfix/main")
+}

@@ -1,0 +1,6 @@
+// Command main shows that binaries may panic freely.
+package main
+
+func main() {
+	panic("binaries may crash loudly") // no want: package main is exempt
+}

@@ -1,0 +1,35 @@
+// Package nopanicfix seeds panic-in-library violations.
+package nopanicfix
+
+import "fmt"
+
+// Insert returns an error like a well-behaved storage API.
+func Insert(vals []string, want int) error {
+	if len(vals) != want {
+		return fmt.Errorf("nopanicfix: got %d values, want %d", len(vals), want)
+	}
+	return nil
+}
+
+// MustInsert panics on data errors — the violation nopanic exists for.
+func MustInsert(vals []string, want int) {
+	if err := Insert(vals, want); err != nil {
+		panic(err) // want `panic in library package`
+	}
+}
+
+type node interface{ kind() string }
+type leaf struct{}
+
+func (leaf) kind() string { return "leaf" }
+
+// describe shows the sanctioned escape hatch: an exhaustive switch whose
+// default is unreachable carries an annotation instead of a want.
+func describe(n node) string {
+	switch n := n.(type) {
+	case leaf:
+		return n.kind()
+	default:
+		panic("nopanicfix: unknown node") //lint:allow nopanic -- exhaustive switch
+	}
+}

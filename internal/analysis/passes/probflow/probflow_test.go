@@ -1,0 +1,12 @@
+package probflow_test
+
+import (
+	"testing"
+
+	"conquer/internal/analysis/analysistest"
+	"conquer/internal/analysis/passes/probflow"
+)
+
+func TestProbflow(t *testing.T) {
+	analysistest.Run(t, "testdata", probflow.Analyzer, "probflowfix")
+}

@@ -1,0 +1,64 @@
+// Package probflowfix seeds dirty-construction-without-validation
+// violations against a miniature model of the real schema/dirty API.
+package probflowfix
+
+import "fmt"
+
+// Relation is a stand-in for schema.Relation.
+type Relation struct {
+	name       string
+	identifier string
+	prob       string
+	probs      map[string][]float64 // cluster id -> member probabilities
+}
+
+// SetDirty marks the relation as probability-carrying — the taint source.
+func (r *Relation) SetDirty(identifier, prob string) error {
+	r.identifier, r.prob = identifier, prob
+	return nil
+}
+
+// Validate checks the Dfn 2 invariant — the sanctioning sink.
+func (r *Relation) Validate() error {
+	for id, ps := range r.probs {
+		sum := 0.0
+		for _, p := range ps {
+			sum += p
+		}
+		if diff := sum - 1; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("probflowfix: cluster %s sums to %g", id, sum)
+		}
+	}
+	return nil
+}
+
+// buildUnchecked constructs a dirty relation and hands it out with the
+// cluster-sum invariant unverified.
+func buildUnchecked(name string) (*Relation, error) {
+	r := &Relation{name: name}
+	if err := r.SetDirty("id", "prob"); err != nil { // want `never routes through a cluster-sum validator`
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildChecked is the compliant form: construction and validation in the
+// same flow.
+func buildChecked(name string) (*Relation, error) {
+	r := &Relation{name: name}
+	if err := r.SetDirty("id", "prob"); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// buildSchemaOnly constructs dirty metadata before any data exists; the
+// annotation records why validation happens elsewhere.
+func buildSchemaOnly(name string) (*Relation, error) {
+	r := &Relation{name: name}
+	err := r.SetDirty("id", "prob") //lint:allow probflow -- validated after bulk load
+	return r, err
+}

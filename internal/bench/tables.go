@@ -44,7 +44,7 @@ func Table1() (string, error) {
 		p := ds.TupleDistribution(i)
 		fmt.Fprintf(&b, "t%-3d", i+1)
 		for v := range header {
-			if p[v] == 0 {
+			if p[v] == 0 { //lint:allow floatcmp -- sparse-map miss is exactly 0, not a computed probability
 				fmt.Fprintf(&b, "  %-10s", "0")
 			} else {
 				fmt.Fprintf(&b, "  %-10.2f", p[v])
@@ -85,7 +85,7 @@ func Table2() (string, error) {
 		}
 		fmt.Fprintf(&b, "rep%-3d  %3d", k+1, rep.Count)
 		for v := 0; v < ds.VocabSize(); v++ {
-			if rep.P[v] == 0 {
+			if rep.P[v] == 0 { //lint:allow floatcmp -- sparse-map miss is exactly 0, not a computed probability
 				fmt.Fprintf(&b, "  %-10s", "0")
 			} else {
 				fmt.Fprintf(&b, "  %-10.3f", rep.P[v])

@@ -77,7 +77,7 @@ func SchapireCluster(seed int64) (ds *probcalc.Dataset, clusterIDs []string, out
 	rng := rand.New(rand.NewSource(seed))
 	ds = probcalc.NewDataset(Attrs)
 	add := func(t []string) int {
-		ds.MustAdd(t...)
+		mustAdd(ds, t)
 		clusterIDs = append(clusterIDs, "schapire")
 		return ds.Len() - 1
 	}
@@ -99,6 +99,15 @@ func SchapireCluster(seed int64) (ds *probcalc.Dataset, clusterIDs []string, out
 	outlierRow = add(outlier)
 	intruderRow = add(intruder)
 	return ds, clusterIDs, outlierRow, intruderRow
+}
+
+// mustAdd appends one tuple to ds. Every generator in this package
+// constructs tuples with exactly len(Attrs) fields, so the arity check in
+// Add cannot fail.
+func mustAdd(ds *probcalc.Dataset, t []string) {
+	if err := ds.Add(t); err != nil {
+		panic(err) //lint:allow nopanic -- arity is fixed at len(Attrs) by construction
+	}
 }
 
 // Publication is a template for multi-cluster generation.
@@ -146,7 +155,7 @@ func Corpus(nPubs, minSize, maxSize int, seed int64) (*probcalc.Dataset, []strin
 				f := rng.Intn(len(fieldVariants))
 				t[f] = fieldVariants[f][rng.Intn(len(fieldVariants[f]))]
 			}
-			ds.MustAdd(t...)
+			mustAdd(ds, t)
 			ids = append(ids, id)
 		}
 	}

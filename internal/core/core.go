@@ -18,7 +18,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 
@@ -72,7 +71,7 @@ func (r *Result) Equal(other *Result, tol float64) bool {
 		if !value.RowsIdentical(r.Answers[i].Values, other.Answers[i].Values) {
 			return false
 		}
-		if math.Abs(r.Answers[i].Prob-other.Answers[i].Prob) > tol {
+		if !value.FloatEq(r.Answers[i].Prob, other.Answers[i].Prob, tol) {
 			return false
 		}
 	}
@@ -245,7 +244,7 @@ func runRewritten(d *dirty.DB, rw *sqlparse.SelectStmt) (*Result, error) {
 func (r *Result) TopK(k int) []Answer {
 	sorted := append([]Answer(nil), r.Answers...)
 	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].Prob != sorted[j].Prob {
+		if !value.ProbEq(sorted[i].Prob, sorted[j].Prob) {
 			return sorted[i].Prob > sorted[j].Prob
 		}
 		return value.CompareRows(sorted[i].Values, sorted[j].Values) < 0

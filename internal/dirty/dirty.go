@@ -25,8 +25,9 @@ import (
 )
 
 // ProbEpsilon is the tolerance when checking that cluster probabilities
-// sum to 1.
-const ProbEpsilon = 1e-6
+// sum to 1. It aliases the canonical value.ProbEpsilon so every layer
+// agrees on what "equal probabilities" means.
+const ProbEpsilon = value.ProbEpsilon
 
 // DB wraps a storage database whose relations may carry dirty metadata
 // (identifier + prob columns on their schemas).
@@ -118,7 +119,7 @@ func (d *DB) Validate() error {
 				}
 				sum += p
 			}
-			if math.Abs(sum-1) > ProbEpsilon {
+			if !value.ProbEq(sum, 1) {
 				return fmt.Errorf("dirty: %s cluster %v probabilities sum to %g, want 1", rel, c.ID, sum)
 			}
 		}

@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"fmt"
 	"math"
 
 	"conquer/internal/probcalc"
@@ -92,11 +93,13 @@ func LIMBOCluster(ds *probcalc.Dataset, k int, maxLoss float64) LIMBOResult {
 // maxLoss is the per-merge information-loss threshold; the per-block
 // cluster target is 1 (merge as far as the threshold allows).
 func MatchTableLIMBO(tb *storage.Table, attrCols []string, prefix string, maxLoss float64, blockKey func([]string) string) (int, error) {
-	return matchTableWith(tb, attrCols, prefix, blockKey, func(tuples [][]string, attrs []string) []int {
+	return matchTableWith(tb, attrCols, prefix, blockKey, func(tuples [][]string, attrs []string) ([]int, error) {
 		ds := probcalc.NewDataset(attrs)
 		for _, t := range tuples {
-			ds.MustAdd(t...)
+			if err := ds.Add(t); err != nil {
+				return nil, fmt.Errorf("building LIMBO dataset: %w", err)
+			}
 		}
-		return LIMBOCluster(ds, 1, maxLoss).Assignment
+		return LIMBOCluster(ds, 1, maxLoss).Assignment, nil
 	})
 }

@@ -10,6 +10,14 @@ import (
 	"conquer/internal/value"
 )
 
+// addT appends one tuple, failing the test on error.
+func addT(t testing.TB, ds *probcalc.Dataset, values ...string) {
+	t.Helper()
+	if err := ds.Add(values); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLIMBOClusterFigure6(t *testing.T) {
 	// The §4 customer relation. Greedy δI merging must group the
 	// strongly-overlapping pairs: the two Marys (three shared values) and
@@ -21,7 +29,7 @@ func TestLIMBOClusterFigure6(t *testing.T) {
 	attrs, tuples, _ := testdb.Figure6Tuples()
 	ds := probcalc.NewDataset(attrs)
 	for _, tp := range tuples {
-		ds.MustAdd(tp...)
+		addT(t, ds, tp...)
 	}
 	res := LIMBOCluster(ds, 3, 0)
 	if res.Clusters != 3 {
@@ -44,9 +52,9 @@ func TestLIMBOClusterFigure6(t *testing.T) {
 
 func TestLIMBOClusterStopsAtThreshold(t *testing.T) {
 	ds := probcalc.NewDataset([]string{"a"})
-	ds.MustAdd("x")
-	ds.MustAdd("x")
-	ds.MustAdd("completely-different")
+	addT(t, ds, "x")
+	addT(t, ds, "x")
+	addT(t, ds, "completely-different")
 	// Merging the two identical tuples costs 0; merging in the third
 	// costs > 0. A tiny threshold keeps it separate.
 	res := LIMBOCluster(ds, 1, 1e-9)
@@ -69,7 +77,7 @@ func TestLIMBOClusterDegenerate(t *testing.T) {
 	if res.Clusters != 0 || len(res.Assignment) != 0 {
 		t.Errorf("empty dataset: %+v", res)
 	}
-	ds.MustAdd("x")
+	addT(t, ds, "x")
 	res = LIMBOCluster(ds, 0, 0) // k < 1 clamps to 1
 	if res.Clusters != 1 || res.Assignment[0] != 0 {
 		t.Errorf("single tuple: %+v", res)

@@ -36,7 +36,7 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Threshold == 0 {
+	if c.Threshold == 0 { //lint:allow floatcmp -- zero-value config sentinel, not a computed probability
 		c.Threshold = 0.75
 	}
 	if c.BlockKey == nil {
@@ -188,7 +188,7 @@ func MatchTable(tb *storage.Table, attrCols []string, prefix string, cfg Config)
 // column.
 func matchTableWith(tb *storage.Table, attrCols []string, prefix string,
 	blockKey func([]string) string,
-	clusterFn func(tuples [][]string, attrs []string) []int,
+	clusterFn func(tuples [][]string, attrs []string) ([]int, error),
 ) (int, error) {
 	attrs, tuples, err := extractTuples(tb, attrCols)
 	if err != nil {
@@ -214,7 +214,10 @@ func matchTableWith(tb *storage.Table, attrCols []string, prefix string,
 		for j, i := range members {
 			sub[j] = tuples[i]
 		}
-		local := clusterFn(sub, attrs)
+		local, err := clusterFn(sub, attrs)
+		if err != nil {
+			return 0, fmt.Errorf("matching: clustering block %q: %w", k, err)
+		}
 		localMax := -1
 		for j, i := range members {
 			clusters[i] = next + local[j]

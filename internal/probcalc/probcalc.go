@@ -67,13 +67,6 @@ func (ds *Dataset) Add(values []string) error {
 	return nil
 }
 
-// MustAdd is Add that panics on error.
-func (ds *Dataset) MustAdd(values ...string) {
-	if err := ds.Add(values); err != nil {
-		panic(err)
-	}
-}
-
 // Len returns the number of tuples.
 func (ds *Dataset) Len() int { return len(ds.tuples) }
 

@@ -2,6 +2,7 @@ package probcalc
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"conquer/internal/infotheory"
@@ -9,6 +10,14 @@ import (
 )
 
 func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// addT appends one tuple, failing the test on error.
+func addT(t testing.TB, ds *Dataset, values ...string) {
+	t.Helper()
+	if err := ds.Add(values); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // figure6 loads the §4 customer relation (Figure 6).
 func figure6(t testing.TB) (*Dataset, []string) {
@@ -174,9 +183,9 @@ func TestPaperTable3(t *testing.T) {
 
 func TestAssignProbabilitiesIdenticalCluster(t *testing.T) {
 	ds := NewDataset([]string{"a", "b"})
-	ds.MustAdd("x", "y")
-	ds.MustAdd("x", "y")
-	ds.MustAdd("x", "y")
+	addT(t, ds, "x", "y")
+	addT(t, ds, "x", "y")
+	addT(t, ds, "x", "y")
 	as, err := AssignProbabilities(ds, []string{"c", "c", "c"}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +199,7 @@ func TestAssignProbabilitiesIdenticalCluster(t *testing.T) {
 
 func TestAssignProbabilitiesErrors(t *testing.T) {
 	ds := NewDataset([]string{"a"})
-	ds.MustAdd("x")
+	addT(t, ds, "x")
 	if _, err := AssignProbabilities(ds, []string{"c", "d"}, nil); err == nil {
 		t.Error("cluster id count mismatch should fail")
 	}
@@ -199,13 +208,14 @@ func TestAssignProbabilitiesErrors(t *testing.T) {
 	}
 }
 
-func TestMustAddPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustAdd should panic")
-		}
-	}()
-	NewDataset([]string{"a"}).MustAdd("x", "y")
+func TestAddArityError(t *testing.T) {
+	err := NewDataset([]string{"a"}).Add([]string{"x", "y"})
+	if err == nil {
+		t.Fatal("Add with wrong arity should fail, not panic")
+	}
+	if !strings.Contains(err.Error(), "2 values, want 1") {
+		t.Errorf("arity error should name the counts, got %v", err)
+	}
 }
 
 func TestMergeCardinalityWeights(t *testing.T) {

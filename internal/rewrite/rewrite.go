@@ -444,7 +444,7 @@ func RewriteClean(cat *schema.Catalog, stmt *sqlparse.SelectStmt) (*sqlparse.Sel
 func MustRewritable(cat *schema.Catalog, stmt *sqlparse.SelectStmt) *sqlparse.SelectStmt {
 	out, err := RewriteClean(cat, stmt)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:allow nopanic -- fixture constructor, documented to panic
 	}
 	return out
 }

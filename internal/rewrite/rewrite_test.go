@@ -318,3 +318,48 @@ func TestAnalyzeMultipleParents(t *testing.T) {
 		t.Fatal("diamond-shaped graph must violate condition 2")
 	}
 }
+
+// RewriteClean (not just Analyze) must reject self joins with a typed
+// NotRewritableError naming condition 3 — the join-graph restriction the
+// paper's Dfn 6/Dfn 7 impose so RewriteClean's probability arithmetic
+// stays sound.
+func TestRewriteCleanRejectsSelfJoin(t *testing.T) {
+	_, err := RewriteClean(fig2Catalog(), sqlparse.MustParse(
+		"select c1.id, c2.id from customer c1, customer c2 where c1.id = c2.id"))
+	if err == nil {
+		t.Fatal("self join must not rewrite")
+	}
+	var nre *NotRewritableError
+	if !errors.As(err, &nre) {
+		t.Fatalf("want *NotRewritableError, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "condition 3") {
+		t.Errorf("error should cite condition 3, got %v", err)
+	}
+}
+
+// Unknown relations and columns must be reported by name, and must NOT be
+// classified as "not rewritable" — they are catalog errors, not Dfn 7
+// violations.
+func TestRewriteCleanUnknownRelation(t *testing.T) {
+	cat := fig2Catalog()
+	_, err := RewriteClean(cat, sqlparse.MustParse("select id from ghost"))
+	if err == nil {
+		t.Fatal("unknown relation must fail")
+	}
+	if !strings.Contains(err.Error(), `"ghost"`) {
+		t.Errorf("error should name the relation, got %v", err)
+	}
+	var nre *NotRewritableError
+	if errors.As(err, &nre) {
+		t.Errorf("unknown relation is a catalog error, not a NotRewritableError: %v", err)
+	}
+
+	_, err = RewriteClean(cat, sqlparse.MustParse("select ghostcol from customer"))
+	if err == nil {
+		t.Fatal("unknown column must fail")
+	}
+	if !strings.Contains(err.Error(), "ghostcol") {
+		t.Errorf("error should name the column, got %v", err)
+	}
+}

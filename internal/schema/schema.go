@@ -75,7 +75,7 @@ func NewRelation(name string, cols ...Column) (*Relation, error) {
 func MustRelation(name string, cols ...Column) *Relation {
 	r, err := NewRelation(name, cols...)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:allow nopanic -- fixture constructor, documented to panic
 	}
 	return r
 }

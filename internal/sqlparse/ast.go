@@ -432,7 +432,7 @@ func CloneExpr(e Expr) Expr {
 	case *IsNullExpr:
 		return &IsNullExpr{X: CloneExpr(e.X), Not: e.Not}
 	default:
-		panic("sqlparse: CloneExpr: unknown node")
+		panic("sqlparse: CloneExpr: unknown node") //lint:allow nopanic -- unreachable: the switch covers every Expr node
 	}
 }
 

@@ -29,7 +29,7 @@ func Parse(src string) (*SelectStmt, error) {
 func MustParse(src string) *SelectStmt {
 	s, err := Parse(src)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:allow nopanic -- fixture constructor, documented to panic
 	}
 	return s
 }

@@ -485,3 +485,70 @@ func TestLexerNeverPanicsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Malformed SELECT lists must fail with an error that names the offending
+// token and its byte offset, so users can locate the mistake.
+func TestParseSelectListErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of the error message
+	}{
+		{"select ,a from t", `at ","`},
+		{"select a,, b from t", `at ","`},
+		{"select a, from t", `at "FROM"`},
+		{"select a as from t", "expected alias after AS"},
+		{"select distinct from t", `at "FROM"`},
+		{"select count( from t", `at "FROM"`},
+		{"select a,b, from t", `at "FROM"`},
+		{"select *, from t", `at "FROM"`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) = %v, want it to mention %q", c.src, err, c.want)
+		}
+		if !strings.Contains(err.Error(), "offset") {
+			t.Errorf("Parse(%q) = %v, want a byte offset", c.src, err)
+		}
+	}
+}
+
+// Errors after a valid prefix: trailing junk, unclosed constructs, and
+// truncated clauses must not silently succeed.
+func TestParseTruncationErrors(t *testing.T) {
+	bad := []string{
+		"select a from t,",
+		"select a from t where (a = 1",
+		"select a from t where a = 1 order by b,",
+		"select a from t group by a having",
+		"select a from t where a in (1,",
+		"select a from t where a between 1 and",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// Unknown relation syntax: FROM items must be plain table names.
+func TestParseFromErrors(t *testing.T) {
+	for _, src := range []string{
+		"select a from 42",
+		"select a from 'str'",
+		"select a from (select b from t)",
+	} {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "expected table name") {
+			t.Errorf("Parse(%q) = %v, want \"expected table name\"", src, err)
+		}
+	}
+}

@@ -72,10 +72,11 @@ func (t *Table) Insert(row []value.Value) error {
 	return nil
 }
 
-// MustInsert inserts and panics on error; for tests and static fixtures.
+// MustInsert inserts and panics on error; for tests and static fixtures
+// only — data-path code must use Insert and handle the error.
 func (t *Table) MustInsert(row ...value.Value) {
 	if err := t.Insert(row); err != nil {
-		panic(err)
+		panic(err) //lint:allow nopanic -- fixture constructor, documented to panic
 	}
 }
 
@@ -187,11 +188,12 @@ func (db *DB) CreateTable(s *schema.Relation) (*Table, error) {
 	return t, nil
 }
 
-// MustCreateTable is CreateTable that panics on error.
+// MustCreateTable is CreateTable that panics on error; for tests and
+// static fixtures only.
 func (db *DB) MustCreateTable(s *schema.Relation) *Table {
 	t, err := db.CreateTable(s)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:allow nopanic -- fixture constructor, documented to panic
 	}
 	return t
 }
@@ -215,22 +217,25 @@ func (db *DB) TotalRows() int {
 }
 
 // Clone deep-copies the database: schemas, rows and indexes.
-func (db *DB) Clone() *DB {
+func (db *DB) Clone() (*DB, error) {
 	out := NewDB()
 	for _, name := range db.Catalog.Names() {
 		src := db.tables[name]
-		dst := out.MustCreateTable(src.Schema.Clone())
+		dst, err := out.CreateTable(src.Schema.Clone())
+		if err != nil {
+			return nil, fmt.Errorf("storage: cloning %s: %w", name, err)
+		}
 		dst.rows = make([][]value.Value, len(src.rows))
 		for i, r := range src.rows {
 			dst.rows[i] = append([]value.Value(nil), r...)
 		}
 		for col := range src.indexes {
 			if err := dst.CreateIndex(col); err != nil {
-				panic(err) // same schema, cannot fail
+				return nil, fmt.Errorf("storage: cloning index %s.%s: %w", name, col, err)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // WriteCSV writes the table (with a header row) to w.

@@ -145,7 +145,10 @@ func TestDBClone(t *testing.T) {
 	if err := tb.CreateIndex("custid"); err != nil {
 		t.Fatal(err)
 	}
-	cp := db.Clone()
+	cp, err := db.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
 	ct, _ := cp.Table("customer")
 	if err := ct.UpdateColumn(0, "name", value.Str("Mutated")); err != nil {
 		t.Fatal(err)

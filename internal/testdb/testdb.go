@@ -44,7 +44,7 @@ func Figure1() *dirty.DB {
 	cust.MustInsert(value.Str("c2"), value.Str("Mary"), value.Float(140000), value.Float(0.4))
 	cust.MustInsert(value.Str("c2"), value.Str("Marion"), value.Float(40000), value.Float(0.6))
 
-	return dirty.New(store)
+	return validated(dirty.New(store))
 }
 
 // Figure2 builds the dirty order/customer database of Figure 2, with
@@ -76,14 +76,14 @@ func Figure2() *dirty.DB {
 	)
 	mustSetDirty(ordS)
 	if err := ordS.AddForeignKey("cidfk", "customer", "custid"); err != nil {
-		panic(err)
+		panic(err) //lint:allow nopanic -- unreachable: the fixture schema is statically well-formed
 	}
 	ord := store.MustCreateTable(ordS)
 	ord.MustInsert(value.Str("o1"), value.Str("11"), value.Str("c1"), value.Int(3), value.Float(1))
 	ord.MustInsert(value.Str("o2"), value.Str("12"), value.Str("c1"), value.Int(2), value.Float(0.5))
 	ord.MustInsert(value.Str("o2"), value.Str("13"), value.Str("c2"), value.Int(5), value.Float(0.5))
 
-	return dirty.New(store)
+	return validated(dirty.New(store))
 }
 
 // Figure6Tuples returns the categorical customer relation of Figure 6 as
@@ -103,8 +103,22 @@ func Figure6Tuples() (attrs []string, tuples [][]string, clusterIDs []string) {
 	return attrs, tuples, clusterIDs
 }
 
+// mustSetDirty marks a fixture relation dirty. Every builder in this
+// package routes the assembled database through validated(), so the
+// cluster-sum invariant (Dfn 2) is still enforced before the fixture
+// escapes.
 func mustSetDirty(r *schema.Relation) {
+	//lint:allow probflow -- the enclosing builders check Dfn 2 via validated()
 	if err := r.SetDirty("id", "prob"); err != nil {
-		panic(err)
+		panic(err) //lint:allow nopanic -- unreachable: the fixture schema is statically well-formed
 	}
+}
+
+// validated asserts the fixture satisfies the cluster-sum invariant of
+// Dfn 2 (per-cluster probabilities sum to 1) before handing it out.
+func validated(d *dirty.DB) *dirty.DB {
+	if err := d.Validate(); err != nil {
+		panic(err) //lint:allow nopanic -- unreachable: the fixture data is statically well-formed
+	}
+	return d
 }

@@ -69,16 +69,17 @@ func Catalog() *schema.Catalog {
 			schema.Column{Name: "prob", Type: num},
 		)
 		rel := schema.MustRelation(name, cols...)
+		//lint:allow probflow -- schema catalog only: uisgen assigns probabilities and the loader validates them (Dfn 2)
 		if err := rel.SetDirty(identifier, "prob"); err != nil {
-			panic(err)
+			panic(err) //lint:allow nopanic -- unreachable: the catalog below is statically well-formed
 		}
 		for _, fk := range fks {
 			if err := rel.AddForeignKey(fk[0], fk[1], fk[2]); err != nil {
-				panic(err)
+				panic(err) //lint:allow nopanic -- unreachable: the catalog below is statically well-formed
 			}
 		}
 		if err := cat.Add(rel); err != nil {
-			panic(err)
+			panic(err) //lint:allow nopanic -- unreachable: the catalog below is statically well-formed
 		}
 	}
 

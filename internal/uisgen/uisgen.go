@@ -72,7 +72,7 @@ func (c Config) withDefaults() (Config, error) {
 	if c.IF < 1 {
 		return c, fmt.Errorf("uisgen: IF must be >= 1, got %d", c.IF)
 	}
-	if c.Scale == 0 {
+	if c.Scale == 0 { //lint:allow floatcmp -- zero-value config sentinel, not a computed probability
 		c.Scale = 0.002
 	}
 	if c.Scale < 0 {

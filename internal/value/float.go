@@ -1,0 +1,17 @@
+package value
+
+import "math"
+
+// ProbEpsilon is the canonical tolerance for comparing probabilities:
+// per-cluster probability functions must sum to 1 within this bound
+// (Dfn 2), and downstream probability arithmetic — candidate-database
+// products (Dfn 4), RewriteClean's sums (Thm 1) — is compared against
+// expectations with it. The floatcmp analyzer forbids exact == / != on
+// floats; these helpers are the sanctioned replacements.
+const ProbEpsilon = 1e-6
+
+// ProbEq reports whether two probabilities are equal within ProbEpsilon.
+func ProbEq(a, b float64) bool { return math.Abs(a-b) <= ProbEpsilon }
+
+// FloatEq reports whether a and b are equal within an explicit tolerance.
+func FloatEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,31 @@
+package value
+
+import "testing"
+
+func TestProbEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1, 1 + ProbEpsilon/2, true},
+		{1, 1 + 2*ProbEpsilon, false},
+		{0.3, 0.1 + 0.2, true}, // the classic binary-rounding case
+		{0, ProbEpsilon, true},
+		{0.5, 0.6, false},
+	}
+	for _, c := range cases {
+		if got := ProbEq(c.a, c.b); got != c.want {
+			t.Errorf("ProbEq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFloatEq(t *testing.T) {
+	if !FloatEq(1.05, 1.0, 0.1) {
+		t.Error("FloatEq(1.05, 1.0, 0.1) should hold")
+	}
+	if FloatEq(1.05, 1.0, 0.01) {
+		t.Error("FloatEq(1.05, 1.0, 0.01) should not hold")
+	}
+}

@@ -99,7 +99,7 @@ func (v Value) IsNull() bool { return v.kind == KindNull }
 // AsInt returns the integer payload. It panics unless Kind is KindInt.
 func (v Value) AsInt() int64 {
 	if v.kind != KindInt {
-		panic("value: AsInt on " + v.kind.String())
+		panic("value: AsInt on " + v.kind.String()) //lint:allow nopanic -- documented accessor contract
 	}
 	return v.i
 }
@@ -113,13 +113,13 @@ func (v Value) AsFloat() float64 {
 	case KindFloat:
 		return v.f
 	}
-	panic("value: AsFloat on " + v.kind.String())
+	panic("value: AsFloat on " + v.kind.String()) //lint:allow nopanic -- documented accessor contract
 }
 
 // AsString returns the string payload. It panics unless Kind is KindString.
 func (v Value) AsString() string {
 	if v.kind != KindString {
-		panic("value: AsString on " + v.kind.String())
+		panic("value: AsString on " + v.kind.String()) //lint:allow nopanic -- documented accessor contract
 	}
 	return v.s
 }
@@ -127,7 +127,7 @@ func (v Value) AsString() string {
 // AsBool returns the boolean payload. It panics unless Kind is KindBool.
 func (v Value) AsBool() bool {
 	if v.kind != KindBool {
-		panic("value: AsBool on " + v.kind.String())
+		panic("value: AsBool on " + v.kind.String()) //lint:allow nopanic -- documented accessor contract
 	}
 	return v.b
 }
@@ -363,6 +363,7 @@ func Hash(v Value) uint64 {
 	case KindInt:
 		return mix64(uint64(v.i) ^ hashInt)
 	case KindFloat:
+		//lint:allow floatcmp -- exact integrality test: hash equality must mirror exact Compare equality
 		if v.f == math.Trunc(v.f) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
 			// Normalize integral floats to the int encoding so that
 			// numeric equality implies hash equality.
