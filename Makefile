@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint race fmt
+.PHONY: all build test lint race fmt fuzz
 
 all: build lint test
 
@@ -13,8 +13,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Short coverage-guided fuzz pass over the SQL parser; CI runs the same
+# budget, longer local runs just raise FUZZTIME.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -fuzz=Fuzz -fuzztime=$(FUZZTIME) ./internal/sqlparse
+
 # lint = formatting gate + standard vet + the in-tree analyzer suite
-# (floatcmp, nopanic, errwrap, probflow; see DESIGN.md §7).
+# (ctxpoll, errwrap, floatcmp, nopanic, probflow; see DESIGN.md §7–8).
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \

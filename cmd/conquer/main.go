@@ -7,9 +7,10 @@
 //
 // Flags:
 //
-//	-dir     directory of TPC-H CSV files produced by datagen; when unset
-//	         the Figure-2 example database of the paper is loaded
-//	-c       execute one statement and exit
+//	-dir      directory of TPC-H CSV files produced by datagen; when unset
+//	          the Figure-2 example database of the paper is loaded
+//	-c        execute one statement and exit
+//	-timeout  per-query wall-clock budget (e.g. 30s; 0 means none)
 //
 // Inside the shell:
 //
@@ -20,20 +21,28 @@
 //	\tables               list relations
 //	\stats                duplication statistics, candidate count, uncertainty
 //	\q                    quit
+//
+// Ctrl-C cancels the in-flight query (the shell reports why it stopped —
+// canceled, deadline, budget — and stays alive); a second Ctrl-C at a
+// quiet prompt exits as usual.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 
 	"conquer/internal/core"
 	"conquer/internal/dirty"
 	"conquer/internal/engine"
+	"conquer/internal/exec"
+	"conquer/internal/qerr"
 	"conquer/internal/rewrite"
 	"conquer/internal/sqlparse"
 	"conquer/internal/storage"
@@ -45,6 +54,7 @@ import (
 func main() {
 	dir := flag.String("dir", "", "directory of TPC-H CSVs from datagen (default: the paper's Figure-2 example)")
 	oneShot := flag.String("c", "", "execute one statement and exit")
+	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (0 = none)")
 	flag.Parse()
 
 	d, err := openDatabase(*dir)
@@ -52,18 +62,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "conquer:", err)
 		os.Exit(1)
 	}
-	sh := &shell{d: d, eng: engine.New(d.Store), out: os.Stdout}
+	limits := exec.Limits{Timeout: *timeout}
+	sh := &shell{d: d, eng: engine.NewWithLimits(d.Store, limits), limits: limits, out: os.Stdout}
 
 	if *oneShot != "" {
-		if err := sh.execute(*oneShot); err != nil {
-			fmt.Fprintln(os.Stderr, "conquer:", err)
+		if err := sh.execute(context.Background(), *oneShot); err != nil {
+			fmt.Fprintln(os.Stderr, "conquer:", formatError(err))
 			os.Exit(1)
 		}
 		return
 	}
 
+	// Ctrl-C cancels the in-flight query instead of killing the shell;
+	// the channel is buffered so a signal arriving between queries is
+	// picked up by the next one.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt)
+
 	fmt.Println("ConQuer-Go — clean answers over dirty databases (ICDE 2006 reproduction)")
-	fmt.Println(`Type SQL, "clean SELECT ...", \tables, \rewrite, \explain, or \q.`)
+	fmt.Println(`Type SQL, "clean SELECT ...", \tables, \rewrite, \explain, or \q. Ctrl-C cancels a query.`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -74,15 +91,47 @@ func main() {
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
+			// Drop any interrupt delivered while idle at the prompt.
+			select {
+			case <-sigCh:
+			default:
+			}
 			continue
 		}
 		if line == `\q` || line == "quit" || line == "exit" {
 			return
 		}
-		if err := sh.execute(line); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
+		if err := sh.executeInterruptible(line, sigCh); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", formatError(err))
 		}
 	}
+}
+
+// executeInterruptible runs one statement under a context that Ctrl-C
+// cancels; the shell survives either way.
+func (sh *shell) executeInterruptible(line string, sigCh <-chan os.Signal) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-sigCh:
+			cancel()
+		case <-done:
+		}
+	}()
+	err := sh.execute(ctx, line)
+	close(done)
+	cancel()
+	return err
+}
+
+// formatError prefixes taxonomy errors with their one-word reason so an
+// interrupted user sees "(canceled)" rather than a raw error chain.
+func formatError(err error) string {
+	if reason := qerr.Reason(err); reason != "" {
+		return fmt.Sprintf("(%s) %v", reason, err)
+	}
+	return err.Error()
 }
 
 func openDatabase(dir string) (*dirty.DB, error) {
@@ -106,12 +155,13 @@ func openDatabase(dir string) (*dirty.DB, error) {
 }
 
 type shell struct {
-	d   *dirty.DB
-	eng *engine.Engine
-	out io.Writer
+	d      *dirty.DB
+	eng    *engine.Engine
+	limits exec.Limits
+	out    io.Writer
 }
 
-func (sh *shell) execute(line string) error {
+func (sh *shell) execute(ctx context.Context, line string) error {
 	switch {
 	case line == `\tables`:
 		for _, name := range sh.d.Store.TableNames() {
@@ -158,7 +208,7 @@ func (sh *shell) execute(line string) error {
 		if err != nil {
 			return err
 		}
-		res, err := core.ViaRewriting(sh.d, stmt)
+		res, err := core.ViaRewritingCtx(ctx, sh.d, stmt, sh.limits)
 		if err != nil {
 			return err
 		}
@@ -172,7 +222,7 @@ func (sh *shell) execute(line string) error {
 		fmt.Fprintf(sh.out, "(%d clean answers)\n", len(res.Answers))
 		return nil
 	default:
-		res, err := sh.eng.Query(line)
+		res, err := sh.eng.QueryCtx(ctx, line)
 		if err != nil {
 			return err
 		}

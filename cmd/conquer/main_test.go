@@ -1,12 +1,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"conquer/internal/engine"
+	"conquer/internal/qerr"
 	"conquer/internal/uisgen"
 )
 
@@ -22,7 +27,7 @@ func newTestShell(t *testing.T) (*shell, *strings.Builder) {
 
 func TestShellTables(t *testing.T) {
 	sh, out := newTestShell(t)
-	if err := sh.execute(`\tables`); err != nil {
+	if err := sh.execute(context.Background(), `\tables`); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"customer", "orders", "4 rows", "3 rows"} {
@@ -34,7 +39,7 @@ func TestShellTables(t *testing.T) {
 
 func TestShellPlainQuery(t *testing.T) {
 	sh, out := newTestShell(t)
-	if err := sh.execute("select id, balance from customer order by balance desc"); err != nil {
+	if err := sh.execute(context.Background(), "select id, balance from customer order by balance desc"); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "(4 rows)") {
@@ -44,7 +49,7 @@ func TestShellPlainQuery(t *testing.T) {
 
 func TestShellCleanQuery(t *testing.T) {
 	sh, out := newTestShell(t)
-	if err := sh.execute("clean select id from customer where balance > 10000"); err != nil {
+	if err := sh.execute(context.Background(), "clean select id from customer where balance > 10000"); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -58,14 +63,14 @@ func TestShellCleanQuery(t *testing.T) {
 
 func TestShellRewriteAndExplain(t *testing.T) {
 	sh, out := newTestShell(t)
-	if err := sh.execute(`\rewrite select id from customer where balance > 10000`); err != nil {
+	if err := sh.execute(context.Background(), `\rewrite select id from customer where balance > 10000`); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "SUM(customer.prob)") {
 		t.Errorf("\\rewrite output:\n%s", out.String())
 	}
 	out.Reset()
-	if err := sh.execute(`\explain select id from customer`); err != nil {
+	if err := sh.execute(context.Background(), `\explain select id from customer`); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "Scan(customer") {
@@ -82,7 +87,7 @@ func TestShellErrors(t *testing.T) {
 		`\explain not sql`,
 		"garbage input",
 	} {
-		if err := sh.execute(line); err == nil {
+		if err := sh.execute(context.Background(), line); err == nil {
 			t.Errorf("execute(%q) should fail", line)
 		}
 	}
@@ -111,7 +116,7 @@ func TestOpenDatabaseFromDir(t *testing.T) {
 	}
 	// The loaded database answers clean queries.
 	sh := &shell{d: loaded, eng: engine.New(loaded.Store), out: &strings.Builder{}}
-	if err := sh.execute("clean select n_nationkey from nation where n_name = 'CANADA'"); err != nil {
+	if err := sh.execute(context.Background(), "clean select n_nationkey from nation where n_name = 'CANADA'"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -122,9 +127,64 @@ func TestOpenDatabaseMissingDir(t *testing.T) {
 	}
 }
 
+// A canceled context aborts queries with the typed sentinel and its
+// one-word reason, and the shell object stays usable afterwards.
+func TestShellCanceledQuery(t *testing.T) {
+	sh, out := newTestShell(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := sh.execute(ctx, "select id from customer")
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("error = %v, want errors.Is(err, qerr.ErrCanceled)", err)
+	}
+	if got := formatError(err); !strings.HasPrefix(got, "(canceled)") {
+		t.Errorf("formatError = %q, want (canceled) prefix", got)
+	}
+	err = sh.execute(ctx, "clean select id from customer")
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("clean error = %v, want errors.Is(err, qerr.ErrCanceled)", err)
+	}
+	// The session survives: the same shell answers the next query.
+	if err := sh.execute(context.Background(), "select id from customer"); err != nil {
+		t.Fatalf("shell unusable after cancellation: %v", err)
+	}
+	if !strings.Contains(out.String(), "(4 rows)") {
+		t.Errorf("post-cancel output:\n%s", out.String())
+	}
+}
+
+// executeInterruptible wires an interrupt signal to in-flight query
+// cancellation without ending the session.
+func TestExecuteInterruptible(t *testing.T) {
+	sh, out := newTestShell(t)
+	// Signal already pending: the query is canceled promptly.
+	sigCh := make(chan os.Signal, 1)
+	sigCh <- syscall.SIGINT
+	start := time.Now()
+	// A nine-way cross product (~10^5 output rows) — far more work than
+	// runs before the pending signal cancels the context.
+	err := sh.executeInterruptible(
+		"select c1.id from customer c1, customer c2, customer c3, customer c4, customer c5, customer c6, orders o1, orders o2, orders o3",
+		sigCh)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("error = %v, want errors.Is(err, qerr.ErrCanceled)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+	// No signal: the same statement runs to completion.
+	out.Reset()
+	if err := sh.executeInterruptible("select id from customer", make(chan os.Signal)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(4 rows)") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
 func TestShellStats(t *testing.T) {
 	sh, out := newTestShell(t)
-	if err := sh.execute(`\stats`); err != nil {
+	if err := sh.execute(context.Background(), `\stats`); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()

@@ -268,6 +268,17 @@ type CleanAnswer struct {
 type CleanResult struct {
 	Columns []string
 	Answers []CleanAnswer
+
+	// Method names the evaluator that produced the answers: "exact",
+	// "rewrite" or "monte-carlo". Eval fills it so callers can tell an
+	// exact result from an estimate; the fixed-method entry points fill
+	// it too.
+	Method string
+	// Samples is the Monte-Carlo sample count (0 for exact methods).
+	Samples int
+	// StdErr bounds the standard error of each probability: 0 for exact
+	// methods, at most 1/(2*sqrt(Samples)) for Monte-Carlo.
+	StdErr float64
 }
 
 // Find returns the probability of the given answer tuple, or 0.
@@ -303,7 +314,12 @@ func anyEqual(a, b any) bool {
 }
 
 func convertResult(res *core.Result) *CleanResult {
-	out := &CleanResult{Columns: res.Columns}
+	out := &CleanResult{
+		Columns: res.Columns,
+		Method:  res.Method.String(),
+		Samples: res.Samples,
+		StdErr:  res.StdErr,
+	}
 	for _, a := range res.Answers {
 		vals := make([]any, len(a.Values))
 		for i, v := range a.Values {

@@ -1,0 +1,170 @@
+package conquer
+
+// Resource governance and graceful degradation (DESIGN.md §8): every
+// clean-answer entry point has a context-aware variant that honors
+// cancellation, deadlines and execution budgets, and Eval picks the
+// strongest evaluation method the budget admits, degrading
+// Exact → rewriting → Monte-Carlo instead of failing.
+
+import (
+	"context"
+	"time"
+
+	"conquer/internal/core"
+	"conquer/internal/engine"
+	"conquer/internal/exec"
+	"conquer/internal/qerr"
+	"conquer/internal/sqlparse"
+)
+
+// Typed failure sentinels, re-exported from the internal taxonomy so
+// callers dispatch with errors.Is without importing internal packages.
+var (
+	// ErrCanceled reports that the caller's context was canceled.
+	ErrCanceled = qerr.ErrCanceled
+	// ErrDeadline reports that the query timeout passed.
+	ErrDeadline = qerr.ErrDeadline
+	// ErrBudgetExceeded reports that an execution budget (buffered rows,
+	// output rows, samples) was exhausted.
+	ErrBudgetExceeded = qerr.ErrBudgetExceeded
+	// ErrTooManyCandidates reports that the candidate-database count
+	// exceeds the enumeration budget.
+	ErrTooManyCandidates = qerr.ErrTooManyCandidates
+	// ErrBadModel reports unusable dirty-database metadata.
+	ErrBadModel = qerr.ErrBadModel
+	// ErrInternal reports an executor panic caught at an API boundary.
+	ErrInternal = qerr.ErrInternal
+)
+
+// ErrorReason classifies err into a short stable keyword — "canceled",
+// "deadline", "budget", "candidates", "model", "internal" — or "" when
+// err is outside the taxonomy. The REPL uses it for one-word verdicts.
+func ErrorReason(err error) string { return qerr.Reason(err) }
+
+// Limits is the execution budget of one evaluation. The zero value
+// imposes no limits.
+type Limits struct {
+	// Timeout is the wall-clock budget for the whole evaluation.
+	Timeout time.Duration
+	// MaxBufferedRows caps rows held concurrently in operator state
+	// (hash-join build sides, aggregation groups, sort buffers).
+	MaxBufferedRows int64
+	// MaxOutputRows caps the rows a single query may return.
+	MaxOutputRows int64
+	// MaxCandidates caps exact candidate-database enumeration.
+	MaxCandidates int64
+	// MaxSamples caps Monte-Carlo sample counts.
+	MaxSamples int
+}
+
+func (l Limits) internal() exec.Limits {
+	return exec.Limits{
+		Timeout:         l.Timeout,
+		MaxBufferedRows: l.MaxBufferedRows,
+		MaxOutputRows:   l.MaxOutputRows,
+		MaxCandidates:   l.MaxCandidates,
+		MaxSamples:      l.MaxSamples,
+	}
+}
+
+// EvalOptions configures Eval.
+type EvalOptions struct {
+	// Limits is the execution budget; see Limits.
+	Limits Limits
+	// Samples is the Monte-Carlo sample count used when Eval degrades to
+	// sampling (a package default when zero).
+	Samples int
+	// Seed seeds Monte-Carlo sampling for reproducible estimates.
+	Seed int64
+}
+
+// Eval computes clean answers with automatic method selection: Exact
+// when the candidate count fits the budget, the paper's rewriting when
+// the query is rewritable, Monte-Carlo sampling otherwise — degrading
+// one rung whenever a resource budget rules the stronger method out.
+// The result reports which method ran (CleanResult.Method) and, for
+// Monte-Carlo, the sample count and standard-error bound. Cancellation
+// and deadline abort the whole ladder with ErrCanceled / ErrDeadline.
+func (db *Database) Eval(ctx context.Context, sql string, opts EvalOptions) (res *CleanResult, err error) {
+	defer qerr.Recover(&err)
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.Eval(ctx, db.d, stmt, core.EvalOptions{
+		Limits:  opts.Limits.internal(),
+		Samples: opts.Samples,
+		Seed:    opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(r), nil
+}
+
+// CleanAnswersCtx is CleanAnswers under a context and execution budget.
+func (db *Database) CleanAnswersCtx(ctx context.Context, sql string, lim Limits) (res *CleanResult, err error) {
+	defer qerr.Recover(&err)
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.ViaRewritingCtx(ctx, db.d, stmt, lim.internal())
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(r), nil
+}
+
+// CleanAnswersExactCtx is CleanAnswersExact under a context and
+// execution budget; lim.MaxCandidates caps the enumeration.
+func (db *Database) CleanAnswersExactCtx(ctx context.Context, sql string, lim Limits) (res *CleanResult, err error) {
+	defer qerr.Recover(&err)
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.ExactCtx(ctx, db.d, stmt, lim.internal())
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(r), nil
+}
+
+// CleanAnswersMonteCarloCtx is CleanAnswersMonteCarlo under a context
+// and execution budget.
+func (db *Database) CleanAnswersMonteCarloCtx(ctx context.Context, sql string, n int, seed int64, lim Limits) (res *CleanResult, err error) {
+	defer qerr.Recover(&err)
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	r, err := core.MonteCarloCtx(ctx, db.d, stmt, n, seed, lim.internal())
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(r), nil
+}
+
+// QueryCtx is Query under a context: plain SQL over the stored data with
+// cancellation and timeout support.
+func (db *Database) QueryCtx(ctx context.Context, sql string, lim Limits) (*Rows, error) {
+	res, err := engine.NewWithLimits(db.d.Store, lim.internal()).QueryCtx(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Columns: res.Columns}
+	for _, r := range res.Rows {
+		row := make([]any, len(r))
+		for i, v := range r {
+			row[i] = fromValue(v)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// IsResourceError reports whether err is a degradable resource failure
+// (budget or candidate-count exhaustion) rather than cancellation or a
+// model problem.
+func IsResourceError(err error) bool { return qerr.IsResource(err) }

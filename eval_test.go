@@ -1,0 +1,179 @@
+package conquer
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"conquer/internal/faultinject"
+	"conquer/internal/storage"
+)
+
+// Eval on a small database picks the exact evaluator and reports it.
+func TestEvalPicksExactWhenSmall(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Eval(context.Background(), "select id from customer where balance > 10000", EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "exact" {
+		t.Errorf("method = %q, want exact", res.Method)
+	}
+	if res.StdErr != 0 || res.Samples != 0 {
+		t.Errorf("exact result carries estimate metadata: samples=%d stderr=%v", res.Samples, res.StdErr)
+	}
+	if got := res.Find("c1"); !approx(got, 1.0) {
+		t.Errorf("P(c1) = %v", got)
+	}
+	if got := res.Find("c2"); !approx(got, 0.2) {
+		t.Errorf("P(c2) = %v", got)
+	}
+}
+
+// When the candidate budget rules out exact enumeration, Eval degrades to
+// the paper's rewriting for rewritable queries — still exact answers.
+func TestEvalDegradesToRewriting(t *testing.T) {
+	db := paperDB(t)
+	// 2 customer clusters x 2 + 1 order cluster x 2 -> 8 candidates;
+	// a budget of 1 rules out enumeration.
+	res, err := db.Eval(context.Background(), "select id from customer where balance > 10000",
+		EvalOptions{Limits: Limits{MaxCandidates: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "rewrite" {
+		t.Errorf("method = %q, want rewrite", res.Method)
+	}
+	if got := res.Find("c1"); !approx(got, 1.0) {
+		t.Errorf("P(c1) = %v", got)
+	}
+}
+
+// A non-rewritable query over budget degrades all the way to Monte-Carlo,
+// and the result is flagged as an estimate with its error bound.
+func TestEvalDegradesToMonteCarlo(t *testing.T) {
+	db := paperDB(t)
+	// "select name" does not project the identifier, violating condition 4
+	// of the rewritable class.
+	if ok, _, err := db.IsRewritable("select name from customer where balance > 10000"); err != nil || ok {
+		t.Fatalf("fixture query unexpectedly rewritable (ok=%v, err=%v)", ok, err)
+	}
+	res, err := db.Eval(context.Background(), "select name from customer where balance > 10000",
+		EvalOptions{Limits: Limits{MaxCandidates: 1}, Samples: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "monte-carlo" {
+		t.Errorf("method = %q, want monte-carlo", res.Method)
+	}
+	if res.Samples != 400 {
+		t.Errorf("samples = %d, want 400", res.Samples)
+	}
+	if res.StdErr <= 0 || res.StdErr > 0.025000001 {
+		t.Errorf("stderr = %v, want (0, 1/(2*sqrt(400))]", res.StdErr)
+	}
+	// John appears in every candidate: P = 1 exactly, even sampled.
+	if got := res.Find("John"); !approx(got, 1.0) {
+		t.Errorf("P(John) = %v", got)
+	}
+	// Mary's true probability is 0.2; the estimate must be within a few
+	// standard errors.
+	if got := res.Find("Mary"); got < 0.2-4*res.StdErr || got > 0.2+4*res.StdErr {
+		t.Errorf("P(Mary) = %v, want within 4 stderr of 0.2", got)
+	}
+}
+
+// The deterministic seed makes degraded runs reproducible.
+func TestEvalMonteCarloReproducible(t *testing.T) {
+	db := paperDB(t)
+	opts := EvalOptions{Limits: Limits{MaxCandidates: 1}, Samples: 100, Seed: 42}
+	a, err := db.Eval(context.Background(), "select name from customer", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Eval(context.Background(), "select name from customer", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Answers) != len(b.Answers) {
+		t.Fatalf("answer counts differ: %d vs %d", len(a.Answers), len(b.Answers))
+	}
+	for i := range a.Answers {
+		if !approx(a.Answers[i].Prob, b.Answers[i].Prob) {
+			t.Errorf("answer %d: %v vs %v", i, a.Answers[i].Prob, b.Answers[i].Prob)
+		}
+	}
+}
+
+// Cancellation aborts the ladder with the typed sentinel; it must never
+// silently degrade.
+func TestEvalCanceled(t *testing.T) {
+	db := paperDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.Eval(ctx, "select id from customer", EvalOptions{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("error = %v, want errors.Is(err, ErrCanceled)", err)
+	}
+	if ErrorReason(err) != "canceled" {
+		t.Errorf("reason = %q, want canceled", ErrorReason(err))
+	}
+}
+
+// An expired timeout surfaces as ErrDeadline through the facade.
+func TestEvalDeadline(t *testing.T) {
+	db := paperDB(t)
+	_, err := db.Eval(context.Background(), "select id from customer",
+		EvalOptions{Limits: Limits{Timeout: time.Nanosecond}})
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("error = %v, want errors.Is(err, ErrDeadline)", err)
+	}
+	if ErrorReason(err) != "deadline" {
+		t.Errorf("reason = %q, want deadline", ErrorReason(err))
+	}
+}
+
+// A fault injected into candidate materialization surfaces
+// errors.Is-matchable through the public facade.
+func TestFacadeSurfacesMaterializeFault(t *testing.T) {
+	db := paperDB(t)
+	boom := errors.New("disk on fire")
+	db.d.Store.SetInjector(faultinject.FailNth("customer", storage.OpInsert, 2, boom))
+	_, err := db.CleanAnswersExactCtx(context.Background(), "select id from customer", Limits{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want errors.Is(err, boom)", err)
+	}
+	// The same fault aborts Eval's exact rung; as a hard storage error
+	// (not a resource budget) it must NOT be degraded away.
+	_, err = db.Eval(context.Background(), "select id from customer", EvalOptions{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Eval error = %v, want errors.Is(err, boom)", err)
+	}
+}
+
+// The enumeration-limit error is typed: callers can dispatch on
+// ErrTooManyCandidates rather than matching the message.
+func TestExactOverLimitTyped(t *testing.T) {
+	db := paperDB(t)
+	_, err := db.CleanAnswersExactCtx(context.Background(), "select id from customer",
+		Limits{MaxCandidates: 1})
+	if !errors.Is(err, ErrTooManyCandidates) {
+		t.Fatalf("error = %v, want errors.Is(err, ErrTooManyCandidates)", err)
+	}
+	if !IsResourceError(err) {
+		t.Error("candidate overflow should be a resource error")
+	}
+	if ErrorReason(err) != "candidates" {
+		t.Errorf("reason = %q, want candidates", ErrorReason(err))
+	}
+}
+
+// Output budgets apply to plain queries through the facade.
+func TestQueryCtxOutputBudget(t *testing.T) {
+	db := paperDB(t)
+	_, err := db.QueryCtx(context.Background(), "select custid from customer", Limits{MaxOutputRows: 2})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("error = %v, want errors.Is(err, ErrBudgetExceeded)", err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package ctxpoll defines an analyzer that keeps the executor
+// responsive to cancellation.
+//
+// The resource-governance design (DESIGN.md §8) hinges on every
+// operator row loop polling the query's governor: a loop that spins
+// without polling can outlive the caller's context by the full size of
+// its input, turning Ctrl-C and query timeouts into dead letters. The
+// analyzer enforces the invariant mechanically: inside package exec,
+// every for/range loop in an operator's Open or Next method must
+// contain a Poll call (directly or in a callee loop such as
+// drainBuffered). Loops that are genuinely bounded — fixed-width schema
+// iteration, per-column work — carry a "//lint:allow ctxpoll"
+// annotation with a reason.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/token"
+
+	"conquer/internal/analysis"
+)
+
+// Analyzer flags Open/Next loops in package exec that never poll for
+// cancellation.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "operator Open/Next loops in package exec must poll cancellation (governor Poll or a polling helper)",
+	Run:  run,
+}
+
+// pollers are the callees that count as a cancellation check: the
+// governor's amortized poll, the qerr ticker behind it, and the
+// buffering helper that polls internally while draining a child.
+var pollers = map[string]bool{
+	"Poll":            true,
+	"drainBuffered":   true,
+	"CollectGoverned": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() != "exec" {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Open" && fd.Name.Name != "Next" {
+				continue
+			}
+			checkLoops(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkLoops reports every for/range loop in fd whose body (including
+// nested statements) never reaches a polling callee.
+func checkLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var pos token.Pos
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body, pos = l.Body, l.For
+		case *ast.RangeStmt:
+			body, pos = l.Body, l.For
+		default:
+			return true
+		}
+		if !polls(body) {
+			pass.Reportf(pos, "loop in %s.%s does not poll cancellation; call the governor's Poll (or annotate a bounded loop with lint:allow ctxpoll)", recvType(fd), fd.Name.Name)
+		}
+		// A polling outer loop vouches for its inner loops too: the
+		// amortized ticker advances wherever the Poll call sits.
+		return false
+	})
+}
+
+// polls reports whether the block contains a call to a polling callee.
+func polls(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if pollers[fun.Sel.Name] {
+				found = true
+			}
+		case *ast.Ident:
+			if pollers[fun.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// recvType names the receiver type for diagnostics.
+func recvType(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return "?"
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}

@@ -1,0 +1,92 @@
+// Package exec seeds unpolled-operator-loop violations for the ctxpoll
+// analyzer (the analyzer keys on the package name, so the fixture
+// declares itself "exec").
+package exec
+
+// governor stands in for the real exec.Governor.
+type governor struct{}
+
+func (g *governor) Poll() error { return nil }
+
+// Row is a placeholder row type.
+type Row []int
+
+// BadScan spins through its input without ever polling — the violation
+// ctxpoll exists for.
+type BadScan struct {
+	rows []Row
+	pos  int
+}
+
+// Next returns the next matching row.
+func (s *BadScan) Next() (Row, error) {
+	for s.pos < len(s.rows) { // want `does not poll cancellation`
+		r := s.rows[s.pos]
+		s.pos++
+		if len(r) > 0 {
+			return r, nil
+		}
+	}
+	return nil, nil
+}
+
+// BadBuild drains its input into memory inside Open, also unpolled.
+type BadBuild struct {
+	input []Row
+	built [][]int
+}
+
+// Open buffers the whole input.
+func (b *BadBuild) Open() error {
+	for _, r := range b.input { // want `does not poll cancellation`
+		b.built = append(b.built, r)
+	}
+	return nil
+}
+
+// GoodFilter polls its governor at the top of the row loop.
+type GoodFilter struct {
+	gov  *governor
+	rows []Row
+	pos  int
+}
+
+// Next polls before each row.
+func (f *GoodFilter) Next() (Row, error) {
+	for f.pos < len(f.rows) {
+		if err := f.gov.Poll(); err != nil {
+			return nil, err
+		}
+		r := f.rows[f.pos]
+		f.pos++
+		if len(r) > 1 {
+			return r, nil
+		}
+	}
+	return nil, nil
+}
+
+// GoodAnnotated shows the sanctioned escape hatch for loops bounded by
+// the schema width rather than the data size.
+type GoodAnnotated struct {
+	widths []int
+}
+
+// Open sums fixed-width schema metadata.
+func (g *GoodAnnotated) Open() error {
+	total := 0
+	for _, w := range g.widths { //lint:allow ctxpoll -- bounded by schema width, not data size
+		total += w
+	}
+	_ = total
+	return nil
+}
+
+// helper loops outside Open/Next are not the analyzer's business.
+func (g *GoodAnnotated) describe() int {
+	n := 0
+	for range g.widths {
+		n++
+	}
+	return n
+}

@@ -3,6 +3,7 @@ package passes
 
 import (
 	"conquer/internal/analysis"
+	"conquer/internal/analysis/passes/ctxpoll"
 	"conquer/internal/analysis/passes/errwrap"
 	"conquer/internal/analysis/passes/floatcmp"
 	"conquer/internal/analysis/passes/nopanic"
@@ -12,6 +13,7 @@ import (
 // All returns the full suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		ctxpoll.Analyzer,
 		errwrap.Analyzer,
 		floatcmp.Analyzer,
 		nopanic.Analyzer,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,8 @@ import (
 
 	"conquer/internal/dirty"
 	"conquer/internal/engine"
+	"conquer/internal/exec"
+	"conquer/internal/qerr"
 	"conquer/internal/sqlparse"
 	"conquer/internal/value"
 )
@@ -151,10 +154,24 @@ type AggregateEstimate struct {
 // covers the non-linear aggregates the closed-form expectations above
 // cannot, at Monte-Carlo accuracy.
 func EstimateAggregate(d *dirty.DB, stmt *sqlparse.SelectStmt, kind AggregateKind, col int, n int, seed int64) (AggregateEstimate, error) {
+	return EstimateAggregateCtx(context.Background(), d, stmt, kind, col, n, seed, exec.Limits{})
+}
+
+// EstimateAggregateCtx is EstimateAggregate under a context and execution
+// budget: lim.Timeout is applied once here, lim.MaxSamples (when
+// positive) caps n, and the sampling loop polls ctx between candidates.
+func EstimateAggregateCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, kind AggregateKind, col int, n int, seed int64, lim exec.Limits) (est AggregateEstimate, err error) {
+	defer qerr.Recover(&err)
 	if n <= 0 {
 		return AggregateEstimate{}, fmt.Errorf("core: EstimateAggregate needs a positive sample count")
 	}
-	samples, err := sampleAggregates(d, stmt, kind, col, n, seed)
+	if lim.MaxSamples > 0 && n > lim.MaxSamples {
+		return AggregateEstimate{}, fmt.Errorf("core: %d aggregate samples exceed budget %d: %w",
+			n, lim.MaxSamples, qerr.ErrBudgetExceeded)
+	}
+	ctx, cancel := lim.WithContext(ctx)
+	defer cancel()
+	samples, err := sampleAggregates(ctx, d, stmt, kind, col, n, seed, lim.WithoutTimeout())
 	if err != nil {
 		return AggregateEstimate{}, err
 	}
@@ -179,19 +196,22 @@ func EstimateAggregate(d *dirty.DB, stmt *sqlparse.SelectStmt, kind AggregateKin
 
 // sampleAggregates draws n candidate databases and computes the aggregate
 // on each one's (set-semantics) answers.
-func sampleAggregates(d *dirty.DB, stmt *sqlparse.SelectStmt, kind AggregateKind, col int, n int, seed int64) ([]float64, error) {
+func sampleAggregates(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, kind AggregateKind, col int, n int, seed int64, inner exec.Limits) ([]float64, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var out []float64
 	for i := 0; i < n; i++ {
+		if err := qerr.FromContext(ctx); err != nil {
+			return nil, err
+		}
 		c, err := d.Sample(rng)
 		if err != nil {
 			return nil, err
 		}
-		world, err := d.Materialize(c)
+		world, err := d.MaterializeCtx(ctx, c)
 		if err != nil {
 			return nil, err
 		}
-		res, err := engine.New(world).QueryStmt(stmt)
+		res, err := engine.NewWithLimits(world, inner).QueryStmtCtx(ctx, stmt)
 		if err != nil {
 			return nil, err
 		}

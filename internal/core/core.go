@@ -17,12 +17,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
 	"conquer/internal/dirty"
 	"conquer/internal/engine"
+	"conquer/internal/exec"
+	"conquer/internal/qerr"
 	"conquer/internal/rewrite"
 	"conquer/internal/sqlparse"
 	"conquer/internal/value"
@@ -35,11 +39,45 @@ type Answer struct {
 	Prob   float64
 }
 
+// Method identifies which evaluator produced a Result.
+type Method int
+
+// Evaluation methods, in degradation-ladder order (Eval falls from
+// Exact through Rewrite to MonteCarlo as budgets tighten).
+const (
+	MethodNone Method = iota
+	MethodExact
+	MethodRewrite
+	MethodMonteCarlo
+)
+
+// String names the method for logs and CLI output.
+func (m Method) String() string {
+	switch m {
+	case MethodExact:
+		return "exact"
+	case MethodRewrite:
+		return "rewrite"
+	case MethodMonteCarlo:
+		return "monte-carlo"
+	default:
+		return "none"
+	}
+}
+
 // Result is a set of clean answers. Answers are kept sorted by row value
 // so results from different evaluators compare deterministically.
 type Result struct {
 	Columns []string
 	Answers []Answer
+
+	// Method records which evaluator produced the answers.
+	Method Method
+	// Samples is the Monte-Carlo sample count (0 for exact methods).
+	Samples int
+	// StdErr bounds the standard error of each probability: 0 for exact
+	// methods, at most 1/(2*sqrt(n)) for Monte-Carlo with n samples.
+	StdErr float64
 }
 
 // Find returns the probability of the answer tuple equal to vals, or 0.
@@ -138,22 +176,34 @@ func distinctRows(rows [][]value.Value) [][]value.Value {
 // verbatim). limit caps the number of candidates (0 for the package
 // default); databases beyond it need ViaRewriting or MonteCarlo.
 func Exact(d *dirty.DB, stmt *sqlparse.SelectStmt, limit int64) (*Result, error) {
+	return ExactCtx(context.Background(), d, stmt, exec.Limits{MaxCandidates: limit})
+}
+
+// ExactCtx is Exact under a context and execution budget. lim.Timeout is
+// applied once here; each per-candidate query runs under the remaining
+// limits. lim.MaxCandidates caps the enumeration (0 for the package
+// default); exceeding it returns a qerr.ErrTooManyCandidates error.
+func ExactCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, lim exec.Limits) (res *Result, err error) {
+	defer qerr.Recover(&err)
+	ctx, cancel := lim.WithContext(ctx)
+	defer cancel()
+	inner := lim.WithoutTimeout()
 	acc := newAccumulator()
 	var cols []string
 	var evalErr error
-	err := d.EnumerateCandidates(limit, func(c *dirty.Candidate) bool {
-		world, err := d.Materialize(c)
+	err = d.EnumerateCandidatesCtx(ctx, lim.MaxCandidates, func(c *dirty.Candidate) bool {
+		world, err := d.MaterializeCtx(ctx, c)
 		if err != nil {
 			evalErr = err
 			return false
 		}
-		res, err := engine.New(world).QueryStmt(stmt)
+		qres, err := engine.NewWithLimits(world, inner).QueryStmtCtx(ctx, stmt)
 		if err != nil {
 			evalErr = err
 			return false
 		}
-		cols = res.Columns
-		for _, row := range distinctRows(res.Rows) {
+		cols = qres.Columns
+		for _, row := range distinctRows(qres.Rows) {
 			acc.add(row, c.Prob)
 		}
 		return true
@@ -164,39 +214,64 @@ func Exact(d *dirty.DB, stmt *sqlparse.SelectStmt, limit int64) (*Result, error)
 	if evalErr != nil {
 		return nil, evalErr
 	}
-	return acc.result(cols), nil
+	out := acc.result(cols)
+	out.Method = MethodExact
+	return out, nil
 }
 
 // MonteCarlo estimates clean answers from n independently sampled
 // candidate databases. The estimate of each answer's probability is its
 // sample frequency; the standard error is at most 1/(2*sqrt(n)).
 func MonteCarlo(d *dirty.DB, stmt *sqlparse.SelectStmt, n int, seed int64) (*Result, error) {
+	return MonteCarloCtx(context.Background(), d, stmt, n, seed, exec.Limits{})
+}
+
+// MonteCarloCtx is MonteCarlo under a context and execution budget.
+// lim.Timeout is applied once here; lim.MaxSamples (when positive) caps n
+// with a qerr.ErrBudgetExceeded error so callers can renegotiate the
+// sample count rather than silently degrading accuracy.
+func MonteCarloCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, n int, seed int64, lim exec.Limits) (res *Result, err error) {
+	defer qerr.Recover(&err)
 	if n <= 0 {
 		return nil, fmt.Errorf("core: MonteCarlo needs a positive sample count")
 	}
+	if lim.MaxSamples > 0 && n > lim.MaxSamples {
+		return nil, fmt.Errorf("core: %d Monte-Carlo samples exceed budget %d: %w",
+			n, lim.MaxSamples, qerr.ErrBudgetExceeded)
+	}
+	ctx, cancel := lim.WithContext(ctx)
+	defer cancel()
+	inner := lim.WithoutTimeout()
 	rng := rand.New(rand.NewSource(seed))
 	acc := newAccumulator()
 	var cols []string
 	w := 1 / float64(n)
 	for i := 0; i < n; i++ {
+		if err := qerr.FromContext(ctx); err != nil {
+			return nil, err
+		}
 		c, err := d.Sample(rng)
 		if err != nil {
 			return nil, err
 		}
-		world, err := d.Materialize(c)
+		world, err := d.MaterializeCtx(ctx, c)
 		if err != nil {
 			return nil, err
 		}
-		res, err := engine.New(world).QueryStmt(stmt)
+		qres, err := engine.NewWithLimits(world, inner).QueryStmtCtx(ctx, stmt)
 		if err != nil {
 			return nil, err
 		}
-		cols = res.Columns
-		for _, row := range distinctRows(res.Rows) {
+		cols = qres.Columns
+		for _, row := range distinctRows(qres.Rows) {
 			acc.add(row, w)
 		}
 	}
-	return acc.result(cols), nil
+	out := acc.result(cols)
+	out.Method = MethodMonteCarlo
+	out.Samples = n
+	out.StdErr = 1 / (2 * math.Sqrt(float64(n)))
+	return out, nil
 }
 
 // ViaRewriting computes clean answers with the paper's rewriting: it
@@ -204,21 +279,27 @@ func MonteCarlo(d *dirty.DB, stmt *sqlparse.SelectStmt, n int, seed int64) (*Res
 // database. It fails with rewrite.NotRewritableError when the query is
 // outside the rewritable class.
 func ViaRewriting(d *dirty.DB, stmt *sqlparse.SelectStmt) (*Result, error) {
+	return ViaRewritingCtx(context.Background(), d, stmt, exec.Limits{})
+}
+
+// ViaRewritingCtx is ViaRewriting under a context and execution budget.
+func ViaRewritingCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, lim exec.Limits) (res *Result, err error) {
+	defer qerr.Recover(&err)
 	rw, err := rewrite.RewriteClean(d.Store.Catalog, stmt)
 	if err != nil {
 		return nil, err
 	}
-	return runRewritten(d, rw)
+	return runRewrittenCtx(ctx, d, rw, lim)
 }
 
 // RunRewritten executes an already rewritten query (whose last output
 // column is the clean-answer probability) and packages the result.
 func RunRewritten(d *dirty.DB, rw *sqlparse.SelectStmt) (*Result, error) {
-	return runRewritten(d, rw)
+	return runRewrittenCtx(context.Background(), d, rw, exec.Limits{})
 }
 
-func runRewritten(d *dirty.DB, rw *sqlparse.SelectStmt) (*Result, error) {
-	res, err := engine.New(d.Store).QueryStmt(rw)
+func runRewrittenCtx(ctx context.Context, d *dirty.DB, rw *sqlparse.SelectStmt, lim exec.Limits) (*Result, error) {
+	res, err := engine.NewWithLimits(d.Store, lim).QueryStmtCtx(ctx, rw)
 	if err != nil {
 		return nil, err
 	}
@@ -235,6 +316,7 @@ func runRewritten(d *dirty.DB, rw *sqlparse.SelectStmt) (*Result, error) {
 		out.Answers = append(out.Answers, Answer{Values: row[:last], Prob: pv.AsFloat()})
 	}
 	out.sortAnswers()
+	out.Method = MethodRewrite
 	return out, nil
 }
 

@@ -1,0 +1,118 @@
+package core
+
+// Eval is the graceful-degradation front door over the three evaluators.
+// Callers that do not want to pick a method ask Eval, which chooses the
+// strongest evaluator the budget admits and falls one rung down the
+// ladder — Exact → ViaRewriting → MonteCarlo — when a resource budget
+// (and only a resource budget: cancellation and deadline abort the whole
+// ladder) rules a rung out. The Result reports which method ran and, for
+// Monte-Carlo, the sample count and standard-error bound, so callers can
+// tell an exact answer from an estimate.
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+
+	"conquer/internal/dirty"
+	"conquer/internal/exec"
+	"conquer/internal/qerr"
+	"conquer/internal/rewrite"
+	"conquer/internal/sqlparse"
+)
+
+// DefaultSamples is the Monte-Carlo sample count Eval uses when
+// EvalOptions does not specify one. At 1000 samples the standard error of
+// each probability is bounded by 1/(2*sqrt(1000)) ≈ 0.016.
+const DefaultSamples = 1000
+
+// EvalOptions configures Eval.
+type EvalOptions struct {
+	// Limits is the execution budget every rung runs under. Its Timeout
+	// covers the whole ladder, not each attempt.
+	Limits exec.Limits
+	// Samples is the Monte-Carlo sample count for the last rung
+	// (DefaultSamples when zero). It is clipped to Limits.MaxSamples.
+	Samples int
+	// Seed seeds Monte-Carlo sampling, making degraded runs reproducible.
+	Seed int64
+	// ForceExact disables degradation: Eval runs only the Exact rung and
+	// returns its error verbatim. For ground-truth comparisons in tests.
+	ForceExact bool
+}
+
+// exactThreshold caps the candidate count Eval will attempt exactly when
+// the caller sets no MaxCandidates budget. It is deliberately far below
+// dirty.EnumerateLimit: Eval optimizes for answering within budget, not
+// for exhausting what enumeration can survive.
+const exactThreshold = 1 << 12
+
+// Eval computes clean answers with automatic method selection:
+//
+//  1. Exact, when the candidate count fits the budget — ground truth.
+//  2. ViaRewriting, when the query is in the rewritable class (§3) —
+//     still exact (Thm 1), one query over the dirty database.
+//  3. MonteCarlo, otherwise — an estimate, flagged by Result.StdErr.
+//
+// A rung failing with a resource error (qerr.IsResource) falls through to
+// the next; cancellation, deadline and model errors abort immediately.
+func Eval(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, opts EvalOptions) (res *Result, err error) {
+	defer qerr.Recover(&err)
+	lim := opts.Limits
+	ctx, cancel := lim.WithContext(ctx)
+	defer cancel()
+	inner := lim.WithoutTimeout()
+
+	if opts.ForceExact {
+		return ExactCtx(ctx, d, stmt, inner)
+	}
+
+	// Rung 1: Exact, when the candidate count is known to fit.
+	count, err := d.CandidateCount()
+	if err != nil {
+		return nil, err
+	}
+	budget := inner.MaxCandidates
+	if budget <= 0 {
+		budget = exactThreshold
+	}
+	if count.Cmp(big.NewInt(budget)) <= 0 {
+		res, err := ExactCtx(ctx, d, stmt, inner)
+		if err == nil {
+			return res, nil
+		}
+		if !qerr.IsResource(err) {
+			return nil, err
+		}
+		// Budget ran out mid-enumeration; fall through.
+	}
+
+	// Rung 2: rewriting, when the query is in the rewritable class.
+	a, err := rewrite.Analyze(d.Store.Catalog, stmt)
+	if err != nil {
+		return nil, err
+	}
+	if a.Rewritable {
+		res, err := ViaRewritingCtx(ctx, d, stmt, inner)
+		if err == nil {
+			return res, nil
+		}
+		if !qerr.IsResource(err) {
+			return nil, err
+		}
+	}
+
+	// Rung 3: Monte-Carlo.
+	n := opts.Samples
+	if n <= 0 {
+		n = DefaultSamples
+	}
+	if inner.MaxSamples > 0 && n > inner.MaxSamples {
+		n = inner.MaxSamples
+	}
+	res, err = MonteCarloCtx(ctx, d, stmt, n, opts.Seed, inner)
+	if err != nil {
+		return nil, fmt.Errorf("core: all evaluation methods failed, last (monte-carlo): %w", err)
+	}
+	return res, nil
+}

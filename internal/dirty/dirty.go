@@ -15,11 +15,13 @@
 package dirty
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
 	"math/rand"
 
+	"conquer/internal/qerr"
 	"conquer/internal/storage"
 	"conquer/internal/value"
 )
@@ -67,14 +69,14 @@ func (d *DB) Clusters(rel string) ([]Cluster, error) {
 	}
 	idIdx := tb.Schema.IdentifierIndex()
 	if idIdx < 0 {
-		return nil, fmt.Errorf("dirty: relation %q has no identifier column", rel)
+		return nil, fmt.Errorf("dirty: relation %q has no identifier column: %w", rel, qerr.ErrBadModel)
 	}
 	pos := make(map[uint64][]int) // hash -> cluster positions in out
 	var out []Cluster
 	for i := 0; i < tb.Len(); i++ {
 		id := tb.Row(i)[idIdx]
 		if id.IsNull() {
-			return nil, fmt.Errorf("dirty: %s row %d has NULL identifier", rel, i)
+			return nil, fmt.Errorf("dirty: %s row %d has NULL identifier: %w", rel, i, qerr.ErrBadModel)
 		}
 		h := value.Hash(id)
 		found := -1
@@ -263,6 +265,15 @@ const EnumerateLimit = 1 << 22
 // verification on small databases, with the rewriting or Monte-Carlo
 // evaluators covering the rest.
 func (d *DB) EnumerateCandidates(limit int64, fn func(c *Candidate) bool) error {
+	return d.EnumerateCandidatesCtx(context.Background(), limit, fn)
+}
+
+// EnumerateCandidatesCtx is EnumerateCandidates under a context: the
+// enumeration polls ctx between visited candidates and aborts with a
+// qerr cancellation error when it fires. An over-limit count surfaces as
+// qerr.ErrTooManyCandidates so callers (core.Eval) can degrade to
+// sampling instead of failing.
+func (d *DB) EnumerateCandidatesCtx(ctx context.Context, limit int64, fn func(c *Candidate) bool) error {
 	if limit <= 0 {
 		limit = EnumerateLimit
 	}
@@ -271,7 +282,8 @@ func (d *DB) EnumerateCandidates(limit int64, fn func(c *Candidate) bool) error 
 		return err
 	}
 	if count.Cmp(big.NewInt(limit)) > 0 {
-		return fmt.Errorf("dirty: %v candidate databases exceed enumeration limit %d", count, limit)
+		return fmt.Errorf("dirty: %v candidate databases exceed enumeration limit %d: %w",
+			count, limit, qerr.ErrTooManyCandidates)
 	}
 	rels, err := d.relClusterList()
 	if err != nil {
@@ -291,9 +303,15 @@ func (d *DB) EnumerateCandidates(limit int64, fn func(c *Candidate) bool) error 
 	for _, rc := range rels {
 		cand.Chosen[rc.rel] = make([]int, len(rc.clusters))
 	}
+	var tick qerr.Ticker
+	var stopErr error
 	var rec func(i int, prob float64) bool
 	rec = func(i int, prob float64) bool {
 		if i == len(choices) {
+			if err := tick.Poll(ctx); err != nil {
+				stopErr = err
+				return false
+			}
 			cand.Prob = prob
 			return fn(cand)
 		}
@@ -310,7 +328,7 @@ func (d *DB) EnumerateCandidates(limit int64, fn func(c *Candidate) bool) error 
 		return true
 	}
 	rec(0, 1.0)
-	return nil
+	return stopErr
 }
 
 // Sample draws one candidate database at random, choosing each cluster's
@@ -350,7 +368,17 @@ func (d *DB) Sample(rng *rand.Rand) (*Candidate, error) {
 // Schemas are shared with the source (they are not mutated during query
 // answering).
 func (d *DB) Materialize(c *Candidate) (*storage.DB, error) {
+	return d.MaterializeCtx(context.Background(), c)
+}
+
+// MaterializeCtx is Materialize under a context: construction polls ctx
+// between inserted rows. A fault injector installed on the source store
+// is propagated to the candidate database, so injected insert failures
+// fire during materialization and surface %w-wrapped to the caller.
+func (d *DB) MaterializeCtx(ctx context.Context, c *Candidate) (*storage.DB, error) {
 	out := storage.NewDB()
+	out.SetInjector(d.Store.Injector())
+	var tick qerr.Ticker
 	for _, name := range d.Store.TableNames() {
 		src, _ := d.Store.Table(name)
 		dst, err := out.CreateTable(src.Schema)
@@ -360,6 +388,9 @@ func (d *DB) Materialize(c *Candidate) (*storage.DB, error) {
 		chosen, isDirty := c.Chosen[name]
 		if !isDirty {
 			for _, row := range src.Rows() {
+				if err := tick.Poll(ctx); err != nil {
+					return nil, err
+				}
 				if err := dst.Insert(row); err != nil {
 					return nil, err
 				}
@@ -367,6 +398,9 @@ func (d *DB) Materialize(c *Candidate) (*storage.DB, error) {
 			continue
 		}
 		for _, rowIdx := range chosen {
+			if err := tick.Poll(ctx); err != nil {
+				return nil, err
+			}
 			if err := dst.Insert(src.Row(rowIdx)); err != nil {
 				return nil, err
 			}

@@ -7,11 +7,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"conquer/internal/exec"
 	"conquer/internal/plan"
+	"conquer/internal/qerr"
 	"conquer/internal/sqlparse"
 	"conquer/internal/storage"
 	"conquer/internal/value"
@@ -19,17 +21,29 @@ import (
 
 // Engine executes SQL over one database.
 type Engine struct {
-	db   *storage.DB
-	opts plan.Options
+	db     *storage.DB
+	opts   plan.Options
+	limits exec.Limits
 }
 
-// New creates an engine over db with default planning options.
+// New creates an engine over db with default planning options and no
+// execution limits.
 func New(db *storage.DB) *Engine { return &Engine{db: db} }
 
 // NewWithOptions creates an engine with explicit planner options.
 func NewWithOptions(db *storage.DB, opts plan.Options) *Engine {
 	return &Engine{db: db, opts: opts}
 }
+
+// NewWithLimits creates an engine whose queries run under the given
+// execution budget.
+func NewWithLimits(db *storage.DB, limits exec.Limits) *Engine {
+	return &Engine{db: db, limits: limits}
+}
+
+// SetLimits replaces the engine's execution budget for subsequent
+// queries.
+func (e *Engine) SetLimits(limits exec.Limits) { e.limits = limits }
 
 // DB returns the underlying database.
 func (e *Engine) DB() *storage.DB { return e.db }
@@ -40,22 +54,43 @@ type Result struct {
 	Rows    [][]value.Value
 }
 
-// Query parses, plans and executes sql.
+// Query parses, plans and executes sql without cancellation.
 func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx parses, plans and executes sql under ctx and the engine's
+// limits. Cancellation, timeout and budget overruns surface as qerr
+// taxonomy errors.
+func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryStmt(stmt)
+	return e.QueryStmtCtx(ctx, stmt)
 }
 
-// QueryStmt plans and executes an already parsed statement.
+// QueryStmt plans and executes an already parsed statement without
+// cancellation.
 func (e *Engine) QueryStmt(stmt *sqlparse.SelectStmt) (*Result, error) {
+	return e.QueryStmtCtx(context.Background(), stmt)
+}
+
+// QueryStmtCtx plans and executes stmt under ctx and the engine's
+// limits. It is the execution recovery boundary: operator panics are
+// caught here and returned as qerr.ErrInternal-matchable errors with
+// the stack captured.
+func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (res *Result, err error) {
+	defer qerr.Recover(&err)
+	ctx, cancel := e.limits.WithContext(ctx)
+	defer cancel()
 	op, err := plan.Plan(e.db, stmt, e.opts)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Collect(op)
+	gov := exec.NewGovernor(ctx, e.limits)
+	exec.Attach(op, gov)
+	rows, err := exec.CollectGoverned(op, gov)
 	if err != nil {
 		return nil, err
 	}

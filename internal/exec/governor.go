@@ -1,0 +1,212 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"conquer/internal/qerr"
+	"conquer/internal/value"
+)
+
+// Limits is the execution budget of one query (or of one clean-answer
+// evaluation spanning many queries). The zero value imposes no limits.
+type Limits struct {
+	// Timeout is the wall-clock budget; entry points (engine.QueryCtx,
+	// the core evaluators, core.Eval) apply it to their context once, at
+	// the outermost call.
+	Timeout time.Duration
+	// MaxBufferedRows caps the rows held concurrently in stateful
+	// operator memory: hash-join build tables, aggregate groups, sort
+	// and cross-join buffers, DISTINCT's seen set. Exceeding it fails
+	// the query with qerr.ErrBudgetExceeded.
+	MaxBufferedRows int64
+	// MaxOutputRows caps the rows a query may return.
+	MaxOutputRows int64
+	// MaxCandidates caps candidate-database enumeration for the exact
+	// evaluator (0 falls back to dirty.EnumerateLimit).
+	MaxCandidates int64
+	// MaxSamples caps Monte-Carlo sample counts.
+	MaxSamples int
+}
+
+// WithContext derives a context carrying the Timeout (a no-op without
+// one). The returned cancel func must always be called.
+func (l Limits) WithContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if l.Timeout > 0 {
+		return context.WithTimeout(ctx, l.Timeout)
+	}
+	return context.WithCancel(ctx)
+}
+
+// WithoutTimeout returns a copy with the Timeout cleared; inner layers
+// use it so a budget applied once at the entry point is not re-applied
+// per sub-query.
+func (l Limits) WithoutTimeout() Limits {
+	l.Timeout = 0
+	return l
+}
+
+// Governor enforces a Limits budget over one operator tree: operators
+// poll it for cancellation inside their row loops and account the rows
+// they buffer against the shared budget. A nil *Governor is valid and
+// imposes nothing, so operators are usable ungoverned (tests, internal
+// rewrites). Governor is not safe for concurrent use; each query
+// executes on one goroutine.
+type Governor struct {
+	ctx      context.Context
+	limits   Limits
+	tick     qerr.Ticker
+	buffered int64
+	output   int64
+}
+
+// NewGovernor creates a governor enforcing limits under ctx. Timeout is
+// not applied here — see Limits.WithContext.
+func NewGovernor(ctx context.Context, limits Limits) *Governor {
+	return &Governor{ctx: ctx, limits: limits}
+}
+
+// Context returns the governing context (context.Background for a nil
+// governor).
+func (g *Governor) Context() context.Context {
+	if g == nil || g.ctx == nil {
+		return context.Background()
+	}
+	return g.ctx
+}
+
+// Poll is the per-row cancellation check: amortized over the poll
+// interval, it returns a qerr taxonomy error once the context
+// terminates. Operators call it at the top of every Next-style loop.
+func (g *Governor) Poll() error {
+	if g == nil || g.ctx == nil {
+		return nil
+	}
+	return g.tick.Poll(g.ctx)
+}
+
+// ReserveBuffered charges n rows against the buffered-row budget,
+// failing with qerr.ErrBudgetExceeded once the budget is exhausted.
+func (g *Governor) ReserveBuffered(n int64) error {
+	if g == nil {
+		return nil
+	}
+	g.buffered += n
+	if g.limits.MaxBufferedRows > 0 && g.buffered > g.limits.MaxBufferedRows {
+		return fmt.Errorf("exec: %d buffered rows exceed budget %d: %w",
+			g.buffered, g.limits.MaxBufferedRows, qerr.ErrBudgetExceeded)
+	}
+	return nil
+}
+
+// ReleaseBuffered returns n previously reserved rows to the budget;
+// operators call it from Close when they drop their state.
+func (g *Governor) ReleaseBuffered(n int64) {
+	if g == nil {
+		return
+	}
+	g.buffered -= n
+	if g.buffered < 0 {
+		g.buffered = 0
+	}
+}
+
+// Buffered returns the rows currently charged against the budget.
+func (g *Governor) Buffered() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.buffered
+}
+
+// CountOutput charges one result row against the output budget.
+func (g *Governor) CountOutput() error {
+	if g == nil {
+		return nil
+	}
+	g.output++
+	if g.limits.MaxOutputRows > 0 && g.output > g.limits.MaxOutputRows {
+		return fmt.Errorf("exec: output rows exceed budget %d: %w",
+			g.limits.MaxOutputRows, qerr.ErrBudgetExceeded)
+	}
+	return nil
+}
+
+// governed is implemented by operators that accept a governor.
+type governed interface {
+	setGovernor(*Governor)
+}
+
+// govHolder embeds the governor reference into an operator; Attach
+// installs it through the governed interface.
+type govHolder struct {
+	gov *Governor
+}
+
+func (h *govHolder) setGovernor(g *Governor) { h.gov = g }
+
+// drainBuffered materializes op's rows while polling g and charging each
+// row against the buffered budget. It always returns how many rows were
+// reserved (even on error) so the caller can release them on Close.
+func drainBuffered(op Operator, g *Governor) (rows [][]value.Value, reserved int64, err error) {
+	if err := op.Open(); err != nil {
+		return nil, 0, err
+	}
+	defer op.Close()
+	for {
+		if err := g.Poll(); err != nil {
+			return nil, reserved, err
+		}
+		row, err := op.Next()
+		if err != nil {
+			return nil, reserved, err
+		}
+		if row == nil {
+			return rows, reserved, nil
+		}
+		if err := g.ReserveBuffered(1); err != nil {
+			return nil, reserved + 1, err
+		}
+		reserved++
+		rows = append(rows, row)
+	}
+}
+
+// Attach installs g on every operator of the tree rooted at op. Plans
+// are built ungoverned; the engine attaches the governor of the current
+// query just before execution.
+func Attach(op Operator, g *Governor) {
+	if gd, ok := op.(governed); ok {
+		gd.setGovernor(g)
+	}
+	for _, c := range children(op) {
+		Attach(c, g)
+	}
+}
+
+// CollectGoverned drains op like Collect while polling g and charging
+// each produced row against the output budget.
+func CollectGoverned(op Operator, g *Governor) ([][]value.Value, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows [][]value.Value
+	for {
+		if err := g.Poll(); err != nil {
+			return nil, err
+		}
+		row, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return rows, nil
+		}
+		if err := g.CountOutput(); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+}

@@ -16,6 +16,7 @@ type Scan struct {
 	Table *storage.Table
 	Alias string
 
+	govHolder
 	schema RowSchema
 	pos    int
 }
@@ -36,8 +37,14 @@ func (s *Scan) Open() error { s.pos = 0; return nil }
 
 // Next returns the next stored row.
 func (s *Scan) Next() ([]value.Value, error) {
+	if err := s.gov.Poll(); err != nil {
+		return nil, err
+	}
 	if s.pos >= s.Table.Len() {
 		return nil, nil
+	}
+	if err := s.Table.ScanFault(); err != nil {
+		return nil, fmt.Errorf("exec: scanning %s: %w", s.Table.Schema.Name, err)
 	}
 	row := s.Table.Row(s.pos)
 	s.pos++
@@ -56,6 +63,7 @@ type Filter struct {
 	Child Operator
 	Pred  sqlparse.Expr
 
+	govHolder
 	test func([]value.Value) (bool, error)
 }
 
@@ -75,6 +83,9 @@ func (f *Filter) Close() error      { return f.Child.Close() }
 // Next returns the next child row passing the predicate.
 func (f *Filter) Next() ([]value.Value, error) {
 	for {
+		if err := f.gov.Poll(); err != nil {
+			return nil, err
+		}
 		row, err := f.Child.Next()
 		if err != nil || row == nil {
 			return row, err
@@ -132,7 +143,7 @@ func (p *Project) Next() ([]value.Value, error) {
 		return nil, err
 	}
 	out := make([]value.Value, len(p.evals))
-	for i, ev := range p.evals {
+	for i, ev := range p.evals { //lint:allow ctxpoll -- bounded by the projection width, not data size
 		v, err := ev(row)
 		if err != nil {
 			return nil, err
@@ -158,12 +169,14 @@ type HashJoin struct {
 	Left, Right         Operator
 	LeftKeys, RightKeys []sqlparse.Expr
 
-	schema  RowSchema
-	lk, rk  []Evaluator
-	table   map[uint64][]buildEntry
-	cur     []buildEntry // matches pending for current left row
-	curLeft []value.Value
-	curIdx  int
+	govHolder
+	schema   RowSchema
+	lk, rk   []Evaluator
+	table    map[uint64][]buildEntry
+	reserved int64        // build rows charged against the buffered budget
+	cur      []buildEntry // matches pending for current left row
+	curLeft  []value.Value
+	curIdx   int
 }
 
 type buildEntry struct {
@@ -208,6 +221,9 @@ func (j *HashJoin) Open() error {
 	j.table = make(map[uint64][]buildEntry)
 	j.cur, j.curLeft, j.curIdx = nil, nil, 0
 	for {
+		if err := j.gov.Poll(); err != nil {
+			return err
+		}
 		row, err := j.Right.Next()
 		if err != nil {
 			return err
@@ -222,6 +238,10 @@ func (j *HashJoin) Open() error {
 		if null {
 			continue // NULL keys never join
 		}
+		if err := j.gov.ReserveBuffered(1); err != nil {
+			return err
+		}
+		j.reserved++
 		h := value.HashRow(keys)
 		j.table[h] = append(j.table[h], buildEntry{keys: keys, row: row})
 	}
@@ -246,6 +266,9 @@ func evalKeys(evs []Evaluator, row []value.Value) ([]value.Value, bool, error) {
 // Next produces the next joined row.
 func (j *HashJoin) Next() ([]value.Value, error) {
 	for {
+		if err := j.gov.Poll(); err != nil {
+			return nil, err
+		}
 		for j.curIdx < len(j.cur) {
 			e := j.cur[j.curIdx]
 			j.curIdx++
@@ -289,6 +312,8 @@ func keysEqual(a, b []value.Value) bool {
 
 func (j *HashJoin) Close() error {
 	j.table = nil
+	j.gov.ReleaseBuffered(j.reserved)
+	j.reserved = 0
 	return j.Left.Close()
 }
 
@@ -311,6 +336,7 @@ type IndexJoin struct {
 	OuterKey   sqlparse.Expr
 	InnerCol   string
 
+	govHolder
 	schema RowSchema
 	ok     Evaluator
 	index  *storage.HashIndex
@@ -353,6 +379,9 @@ func (j *IndexJoin) Open() error {
 // Next probes the index with successive outer rows.
 func (j *IndexJoin) Next() ([]value.Value, error) {
 	for {
+		if err := j.gov.Poll(); err != nil {
+			return nil, err
+		}
 		for j.curIdx < len(j.cur) {
 			inner := j.InnerTable.Row(j.cur[j.curIdx])
 			j.curIdx++
@@ -388,8 +417,10 @@ func (j *IndexJoin) Describe() string {
 type CrossJoin struct {
 	Left, Right Operator
 
+	govHolder
 	schema    RowSchema
 	rightRows [][]value.Value
+	reserved  int64
 	curLeft   []value.Value
 	curIdx    int
 }
@@ -406,7 +437,8 @@ func (j *CrossJoin) Open() error {
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
-	rows, err := Collect(j.Right)
+	rows, reserved, err := drainBuffered(j.Right, j.gov)
+	j.reserved = reserved
 	if err != nil {
 		return err
 	}
@@ -418,6 +450,9 @@ func (j *CrossJoin) Open() error {
 // Next emits the product pairs.
 func (j *CrossJoin) Next() ([]value.Value, error) {
 	for {
+		if err := j.gov.Poll(); err != nil {
+			return nil, err
+		}
 		if j.curLeft != nil && j.curIdx < len(j.rightRows) {
 			out := make([]value.Value, 0, len(j.schema))
 			out = append(out, j.curLeft...)
@@ -438,6 +473,8 @@ func (j *CrossJoin) Next() ([]value.Value, error) {
 
 func (j *CrossJoin) Close() error {
 	j.rightRows = nil
+	j.gov.ReleaseBuffered(j.reserved)
+	j.reserved = 0
 	return j.Left.Close()
 }
 
@@ -490,10 +527,12 @@ type HashAggregate struct {
 	Groups []sqlparse.Expr
 	Aggs   []AggSpec
 
+	govHolder
 	schema   RowSchema
 	groupEvs []Evaluator
 	argEvs   []Evaluator // nil for COUNT(*)
 	out      [][]value.Value
+	reserved int64
 	pos      int
 }
 
@@ -552,6 +591,9 @@ func (a *HashAggregate) Open() error {
 	n := len(a.Aggs)
 	scratch := make([]value.Value, len(a.groupEvs)) // reused per row
 	for {
+		if err := a.gov.Poll(); err != nil {
+			return err
+		}
 		row, err := a.Child.Next()
 		if err != nil {
 			return err
@@ -576,6 +618,10 @@ func (a *HashAggregate) Open() error {
 			}
 		}
 		if st == nil {
+			if err := a.gov.ReserveBuffered(1); err != nil {
+				return err
+			}
+			a.reserved++
 			st = &aggState{
 				groupVals: append([]value.Value(nil), gv...),
 				count:     make([]int64, n),
@@ -636,9 +682,12 @@ func (a *HashAggregate) Open() error {
 	}
 	a.out = a.out[:0]
 	for _, st := range order {
+		if err := a.gov.Poll(); err != nil {
+			return err
+		}
 		row := make([]value.Value, 0, len(a.schema))
 		row = append(row, st.groupVals...)
-		for i, spec := range a.Aggs {
+		for i, spec := range a.Aggs { //lint:allow ctxpoll -- bounded by the aggregate list, not data size
 			row = append(row, finishAgg(spec.Func, st, i))
 		}
 		a.out = append(a.out, row)
@@ -690,6 +739,8 @@ func (a *HashAggregate) Next() ([]value.Value, error) {
 
 func (a *HashAggregate) Close() error {
 	a.out = nil
+	a.gov.ReleaseBuffered(a.reserved)
+	a.reserved = 0
 	return nil
 }
 
@@ -721,9 +772,11 @@ type Sort struct {
 	Child Operator
 	Keys  []SortKey
 
-	evs  []Evaluator
-	rows [][]value.Value
-	pos  int
+	govHolder
+	evs      []Evaluator
+	rows     [][]value.Value
+	reserved int64
+	pos      int
 }
 
 // NewSort compiles the sort keys against the child schema.
@@ -754,15 +807,19 @@ func (s *Sort) Schema() RowSchema { return s.Child.Schema() }
 
 // Open drains and sorts the child.
 func (s *Sort) Open() error {
-	rows, err := Collect(s.Child)
+	rows, reserved, err := drainBuffered(s.Child, s.gov)
+	s.reserved = reserved
 	if err != nil {
 		return err
 	}
 	keys := make([][]value.Value, len(rows))
 	var evalErr error
 	for i, row := range rows {
+		if err := s.gov.Poll(); err != nil {
+			return err
+		}
 		kv := make([]value.Value, len(s.evs))
-		for k, ev := range s.evs {
+		for k, ev := range s.evs { //lint:allow ctxpoll -- bounded by the sort-key width, not data size
 			v, err := ev(row)
 			if err != nil {
 				evalErr = err
@@ -776,12 +833,12 @@ func (s *Sort) Open() error {
 		return evalErr
 	}
 	idx := make([]int, len(rows))
-	for i := range idx {
+	for i := range idx { //lint:allow ctxpoll -- straight slice initialization between polled phases
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(x, y int) bool {
 		a, b := keys[idx[x]], keys[idx[y]]
-		for k := range s.Keys {
+		for k := range s.Keys { //lint:allow ctxpoll -- bounded by the sort-key width, not data size
 			c := value.Compare(a[k], b[k])
 			if c == 0 {
 				continue
@@ -794,7 +851,7 @@ func (s *Sort) Open() error {
 		return false
 	})
 	s.rows = make([][]value.Value, len(rows))
-	for i, j := range idx {
+	for i, j := range idx { //lint:allow ctxpoll -- straight pointer copy between polled phases
 		s.rows[i] = rows[j]
 	}
 	s.pos = 0
@@ -813,6 +870,8 @@ func (s *Sort) Next() ([]value.Value, error) {
 
 func (s *Sort) Close() error {
 	s.rows = nil
+	s.gov.ReleaseBuffered(s.reserved)
+	s.reserved = 0
 	return nil
 }
 
@@ -836,7 +895,9 @@ func (s *Sort) Describe() string {
 type Distinct struct {
 	Child Operator
 
-	seen map[uint64][][]value.Value
+	govHolder
+	seen     map[uint64][][]value.Value
+	reserved int64
 }
 
 // NewDistinct wraps child.
@@ -853,6 +914,9 @@ func (d *Distinct) Open() error {
 // Next returns the next previously unseen row.
 func (d *Distinct) Next() ([]value.Value, error) {
 	for {
+		if err := d.gov.Poll(); err != nil {
+			return nil, err
+		}
 		row, err := d.Child.Next()
 		if err != nil || row == nil {
 			return row, err
@@ -868,6 +932,10 @@ func (d *Distinct) Next() ([]value.Value, error) {
 		if dup {
 			continue
 		}
+		if err := d.gov.ReserveBuffered(1); err != nil {
+			return nil, err
+		}
+		d.reserved++
 		d.seen[h] = append(d.seen[h], row)
 		return row, nil
 	}
@@ -875,6 +943,8 @@ func (d *Distinct) Next() ([]value.Value, error) {
 
 func (d *Distinct) Close() error {
 	d.seen = nil
+	d.gov.ReleaseBuffered(d.reserved)
+	d.reserved = 0
 	return d.Child.Close()
 }
 

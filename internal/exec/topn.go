@@ -19,9 +19,11 @@ type TopN struct {
 	Keys  []SortKey
 	N     int
 
-	evs  []Evaluator
-	rows [][]value.Value
-	pos  int
+	govHolder
+	evs      []Evaluator
+	rows     [][]value.Value
+	reserved int64
+	pos      int
 }
 
 // NewTopN compiles the sort keys against the child schema. n must be
@@ -109,6 +111,9 @@ func (t *TopN) Open() error {
 	h := &topHeap{keys: t.Keys}
 	seq := 0
 	for {
+		if err := t.gov.Poll(); err != nil {
+			return err
+		}
 		row, err := t.Child.Next()
 		if err != nil {
 			return err
@@ -127,6 +132,10 @@ func (t *TopN) Open() error {
 		it := keyed{row: row, keys: kv, seq: seq}
 		seq++
 		if h.Len() < t.N {
+			if err := t.gov.ReserveBuffered(1); err != nil {
+				return err
+			}
+			t.reserved++
 			heap.Push(h, it)
 			continue
 		}
@@ -138,7 +147,7 @@ func (t *TopN) Open() error {
 	items := h.items
 	sort.Slice(items, func(i, j int) bool { return sortsBefore(t.Keys, items[i], items[j]) })
 	t.rows = make([][]value.Value, len(items))
-	for i, it := range items {
+	for i, it := range items { //lint:allow ctxpoll -- bounded by the TopN limit, not data size
 		t.rows[i] = it.row
 	}
 	t.pos = 0
@@ -157,6 +166,8 @@ func (t *TopN) Next() ([]value.Value, error) {
 
 func (t *TopN) Close() error {
 	t.rows = nil
+	t.gov.ReleaseBuffered(t.reserved)
+	t.reserved = 0
 	return nil
 }
 

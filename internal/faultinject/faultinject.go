@@ -1,0 +1,106 @@
+// Package faultinject provides deterministic fault schedules for the
+// storage layer's injection seam (storage.Injector). Tests install a
+// Schedule on a database and declare rules — "the 3rd insert into
+// person fails with this error", "cancel the query on the 100th scan of
+// orders" — then assert that the resulting failure propagates
+// %w-wrapped through enumeration, materialization, execution and the
+// facade, and that no partially built state leaks.
+//
+// Schedules are safe for concurrent use and count every instrumented
+// call, so a test can also assert *how much* work ran before the fault.
+package faultinject
+
+import (
+	"sync"
+
+	"conquer/internal/storage"
+)
+
+// Rule arms one fault. Zero-valued fields are wildcards: an empty Table
+// matches every table, a zero Op matches every operation.
+type Rule struct {
+	// Table names the table the rule applies to ("" for any).
+	Table string
+	// Op selects the instrumented operation ("" for any).
+	Op storage.Op
+	// N is the 1-based matching call the rule fires on; every matching
+	// call from the N-th onward fails (so a retry cannot sneak past the
+	// fault). N <= 1 fires immediately.
+	N int
+	// Err is the error returned when the rule fires. A nil Err makes the
+	// rule observational: OnFire still runs, the operation proceeds.
+	Err error
+	// OnFire, when set, runs once the first time the rule fires — the
+	// hook tests use to cancel a context mid-query.
+	OnFire func()
+
+	matched int
+	fired   bool
+}
+
+// Schedule is a storage.Injector holding an ordered rule list. The first
+// rule that matches and is due decides the outcome of a call.
+type Schedule struct {
+	mu    sync.Mutex
+	rules []*Rule
+	calls map[storage.Op]int
+}
+
+// New builds a schedule from the given rules.
+func New(rules ...Rule) *Schedule {
+	s := &Schedule{calls: make(map[storage.Op]int)}
+	for i := range rules {
+		r := rules[i]
+		s.rules = append(s.rules, &r)
+	}
+	return s
+}
+
+// FailNth arms a single rule: the n-th op on table (and every later one)
+// fails with err.
+func FailNth(table string, op storage.Op, n int, err error) *Schedule {
+	return New(Rule{Table: table, Op: op, N: n, Err: err})
+}
+
+// CancelNth arms an observational rule that runs fire on the n-th op
+// (typically cancelling a context mid-query) without failing the
+// operation itself.
+func CancelNth(op storage.Op, n int, fire func()) *Schedule {
+	return New(Rule{Op: op, N: n, OnFire: fire})
+}
+
+// Fail implements storage.Injector.
+func (s *Schedule) Fail(table string, op storage.Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls[op]++
+	for _, r := range s.rules {
+		if r.Table != "" && r.Table != table {
+			continue
+		}
+		if r.Op != "" && r.Op != op {
+			continue
+		}
+		r.matched++
+		if r.matched < r.N {
+			continue
+		}
+		if !r.fired {
+			r.fired = true
+			if r.OnFire != nil {
+				r.OnFire()
+			}
+		}
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// Calls reports how many instrumented calls of op the schedule has seen.
+func (s *Schedule) Calls(op storage.Op) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls[op]
+}

@@ -1,8 +1,10 @@
 package probcalc
 
 import (
+	"context"
 	"fmt"
 
+	"conquer/internal/qerr"
 	"conquer/internal/storage"
 	"conquer/internal/value"
 )
@@ -11,12 +13,17 @@ import (
 // — the complete offline probability-annotation pass of Figure 7's
 // pipeline. A nil distance uses InformationLoss everywhere.
 func AnnotateAll(db *storage.DB, d Distance) error {
+	return AnnotateAllCtx(context.Background(), db, d)
+}
+
+// AnnotateAllCtx is AnnotateAll under a context; see AnnotateTableCtx.
+func AnnotateAllCtx(ctx context.Context, db *storage.DB, d Distance) error {
 	for _, name := range db.TableNames() {
 		tb, _ := db.Table(name)
 		if !tb.Schema.IsDirty() {
 			continue
 		}
-		if err := AnnotateTable(tb, nil, d); err != nil {
+		if err := AnnotateTableCtx(ctx, tb, nil, d); err != nil {
 			return fmt.Errorf("annotating %s: %w", name, err)
 		}
 	}
@@ -31,6 +38,14 @@ func AnnotateAll(db *storage.DB, d Distance) error {
 // columns). A nil distance uses InformationLoss. Non-string attribute
 // values are treated as categories via their textual form.
 func AnnotateTable(tb *storage.Table, attrCols []string, d Distance) error {
+	return AnnotateTableCtx(context.Background(), tb, attrCols, d)
+}
+
+// AnnotateTableCtx is AnnotateTable under a context: both the
+// dataset-building pass and the probability assignment (where DCF merging
+// makes the cost quadratic in cluster size) poll ctx, so annotation of a
+// large relation can be canceled or run under a deadline.
+func AnnotateTableCtx(ctx context.Context, tb *storage.Table, attrCols []string, d Distance) error {
 	rel := tb.Schema
 	idIdx := rel.IdentifierIndex()
 	probIdx := rel.ProbIndex()
@@ -61,7 +76,11 @@ func AnnotateTable(tb *storage.Table, attrCols []string, d Distance) error {
 	ds := NewDataset(attrs)
 	clusterIDs := make([]string, tb.Len())
 	vals := make([]string, len(cols))
+	var tick qerr.Ticker
 	for i := 0; i < tb.Len(); i++ {
+		if err := tick.Poll(ctx); err != nil {
+			return err
+		}
 		row := tb.Row(i)
 		for k, ci := range cols {
 			vals[k] = row[ci].String()
@@ -72,7 +91,7 @@ func AnnotateTable(tb *storage.Table, attrCols []string, d Distance) error {
 		clusterIDs[i] = row[idIdx].String()
 	}
 
-	assignments, err := AssignProbabilities(ds, clusterIDs, d)
+	assignments, err := AssignProbabilitiesCtx(ctx, ds, clusterIDs, d)
 	if err != nil {
 		return err
 	}

@@ -17,10 +17,12 @@
 package probcalc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"conquer/internal/infotheory"
+	"conquer/internal/qerr"
 )
 
 // Dataset is a set of categorical tuples over named attributes, with a
@@ -166,12 +168,21 @@ type Assignment struct {
 // clusters whose members are all identical (total distance 0) fall back to
 // the uniform distribution.
 func AssignProbabilities(ds *Dataset, clusterIDs []string, d Distance) ([]Assignment, error) {
+	return AssignProbabilitiesCtx(context.Background(), ds, clusterIDs, d)
+}
+
+// AssignProbabilitiesCtx is AssignProbabilities under a context: the
+// per-tuple distance loop — quadratic in cluster size through the DCF
+// merging behind Representative — polls ctx and aborts with a qerr
+// cancellation error when it fires.
+func AssignProbabilitiesCtx(ctx context.Context, ds *Dataset, clusterIDs []string, d Distance) ([]Assignment, error) {
 	if len(clusterIDs) != ds.Len() {
 		return nil, fmt.Errorf("probcalc: %d cluster ids for %d tuples", len(clusterIDs), ds.Len())
 	}
 	if d == nil {
 		d = InformationLoss
 	}
+	var tick qerr.Ticker
 	// Group rows by cluster, preserving first-appearance order.
 	order := []string{}
 	rowsOf := map[string][]int{}
@@ -199,6 +210,9 @@ func AssignProbabilities(ds *Dataset, clusterIDs []string, d Distance) ([]Assign
 		s := 0.0
 		dist := make([]float64, len(rows))
 		for k, i := range rows {
+			if err := tick.Poll(ctx); err != nil {
+				return nil, err
+			}
 			dist[k] = d(ds.SingletonDCF(i), rep, total)
 			s += dist[k]
 		}

@@ -1,0 +1,151 @@
+// Package qerr defines the typed error taxonomy of the query-execution
+// stack. Every governed code path — the physical operators, the three
+// clean-answer evaluators, candidate enumeration and sampling — reports
+// resource exhaustion and termination through these sentinels so callers
+// dispatch with errors.Is instead of string matching:
+//
+//	ErrCanceled          the caller's context was canceled
+//	ErrDeadline          the context deadline (query timeout) passed
+//	ErrBudgetExceeded    an exec.Limits budget (buffered rows, output
+//	                     rows, samples) was exhausted
+//	ErrTooManyCandidates the candidate-database count exceeds the
+//	                     enumeration budget (Dfn 3 is exponential)
+//	ErrBadModel          the dirty-database metadata is unusable (NULL or
+//	                     missing cluster identifiers, invalid probabilities)
+//	ErrInternal          an executor panic was caught at a recovery
+//	                     boundary (see Recover)
+//
+// The package also provides the shared machinery the taxonomy implies:
+// FromContext maps a context's termination onto the sentinels, Ticker
+// amortizes cancellation polling across tight per-row loops, and Recover
+// converts panics into *PanicError values with captured stacks at the
+// engine and facade entry points.
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+)
+
+// Sentinel errors of the taxonomy. They are compared with errors.Is;
+// concrete failures wrap them with %w and add detail.
+var (
+	ErrCanceled          = errors.New("query canceled")
+	ErrDeadline          = errors.New("query deadline exceeded")
+	ErrBudgetExceeded    = errors.New("execution budget exceeded")
+	ErrTooManyCandidates = errors.New("too many candidate databases")
+	ErrBadModel          = errors.New("invalid dirty-database model")
+	ErrInternal          = errors.New("internal execution error")
+)
+
+// FromContext maps a context's termination state onto the taxonomy: nil
+// while the context is live, ErrDeadline-wrapped after a timeout,
+// ErrCanceled-wrapped after cancellation. The original context error
+// stays reachable through errors.Is as well.
+func FromContext(ctx context.Context) error {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("qerr: %w: %w", ErrDeadline, err)
+	default:
+		return fmt.Errorf("qerr: %w: %w", ErrCanceled, err)
+	}
+}
+
+// Reason classifies err into a short stable keyword for user-facing
+// display — "canceled", "deadline", "budget", "candidates", "model",
+// "internal" — or "" when err is outside the taxonomy.
+func Reason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, ErrTooManyCandidates):
+		return "candidates"
+	case errors.Is(err, ErrBadModel):
+		return "model"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	}
+	return ""
+}
+
+// IsResource reports whether err is a degradable resource failure — one
+// the graceful-degradation ladder may respond to by retrying a cheaper
+// evaluation method. Cancellation and deadline are deliberately excluded:
+// once the caller has given up, no rung can help.
+func IsResource(err error) bool {
+	return errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrTooManyCandidates)
+}
+
+// pollInterval is how many Poll calls pass between context checks; a
+// power of two so the modulus compiles to a mask. Cancellation is
+// therefore noticed within pollInterval rows of work (the first call
+// always checks, so short queries are covered too).
+const pollInterval = 256
+
+// Ticker amortizes context polling across tight per-row loops. The zero
+// value is ready to use; Ticker is not safe for concurrent use — create
+// one per goroutine.
+type Ticker struct {
+	n uint64
+}
+
+// Poll checks the context on the first call and every pollInterval-th
+// call thereafter, returning a taxonomy error once ctx terminates.
+func (t *Ticker) Poll(ctx context.Context) error {
+	t.n++
+	if t.n&(pollInterval-1) != 1 {
+		return nil
+	}
+	return FromContext(ctx)
+}
+
+// PanicError is a panic caught at a recovery boundary, carrying the
+// recovered value and the goroutine stack at the point of the panic. It
+// matches errors.Is(err, ErrInternal).
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("qerr: recovered panic: %v", e.Value)
+}
+
+// Unwrap makes the error dispatchable as ErrInternal, and as the panic
+// value itself when the panic carried an error.
+func (e *PanicError) Unwrap() []error {
+	if err, ok := e.Value.(error); ok {
+		return []error{ErrInternal, err}
+	}
+	return []error{ErrInternal}
+}
+
+// Recover converts an in-flight panic into a *PanicError stored in
+// *errp. Use it in a defer at an execution boundary (engine.Query*, the
+// facade's clean-answer entry points) so executor bugs surface as typed,
+// loggable errors instead of tearing the process down:
+//
+//	func Exec(...) (res *Result, err error) {
+//		defer qerr.Recover(&err)
+//		...
+//	}
+func Recover(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	buf := make([]byte, 64<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	*errp = &PanicError{Value: r, Stack: buf}
+}

@@ -1,0 +1,131 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled: %v", err)
+	}
+	// The zero time is always in the past, so the deadline is already
+	// exceeded when the context is created.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Time{})
+	defer dcancel()
+	err = FromContext(dctx)
+	if !errors.Is(err, ErrDeadline) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline: %v", err)
+	}
+}
+
+func TestReason(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{ErrCanceled, "canceled"},
+		{ErrDeadline, "deadline"},
+		{fmt.Errorf("wrapped: %w", ErrBudgetExceeded), "budget"},
+		{fmt.Errorf("wrapped: %w", ErrTooManyCandidates), "candidates"},
+		{ErrBadModel, "model"},
+		{ErrInternal, "internal"},
+		{errors.New("unrelated"), ""},
+	}
+	for _, c := range cases {
+		if got := Reason(c.err); got != c.want {
+			t.Errorf("Reason(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestIsResource(t *testing.T) {
+	if !IsResource(fmt.Errorf("x: %w", ErrBudgetExceeded)) || !IsResource(ErrTooManyCandidates) {
+		t.Error("resource errors not recognized")
+	}
+	if IsResource(ErrCanceled) || IsResource(ErrDeadline) || IsResource(nil) {
+		t.Error("non-degradable errors classified as resource")
+	}
+}
+
+// The ticker must check the context on the very first call, so even
+// queries far shorter than the poll interval observe cancellation.
+func TestTickerPollsFirstCall(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var tick Ticker
+	if err := tick.Poll(ctx); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("first poll = %v, want ErrCanceled", err)
+	}
+}
+
+// Between checks the ticker must be free: no context inspection for the
+// amortized calls.
+func TestTickerAmortizes(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var tick Ticker
+	if err := tick.Poll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	checked := 0
+	for i := 0; i < 2*pollInterval; i++ {
+		if tick.Poll(ctx) != nil {
+			checked++
+		}
+	}
+	if checked != 2 {
+		t.Errorf("polls noticing cancellation = %d in 2 intervals, want 2", checked)
+	}
+}
+
+func TestRecoverCapturesPanic(t *testing.T) {
+	run := func() (err error) {
+		defer Recover(&err)
+		panic("kaboom") //lint:allow nopanic -- the panic under test
+	}
+	err := run()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("recovered error = %v, want ErrInternal", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("recovered error is %T, want *PanicError", err)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "qerr") {
+		t.Error("panic stack not captured")
+	}
+}
+
+func TestRecoverUnwrapsErrorValue(t *testing.T) {
+	cause := errors.New("root cause")
+	run := func() (err error) {
+		defer Recover(&err)
+		panic(cause) //lint:allow nopanic -- the panic under test
+	}
+	err := run()
+	if !errors.Is(err, cause) || !errors.Is(err, ErrInternal) {
+		t.Fatalf("recovered error = %v, want both ErrInternal and the cause", err)
+	}
+}
+
+func TestRecoverNoPanicLeavesErrorAlone(t *testing.T) {
+	run := func() (err error) {
+		defer Recover(&err)
+		return nil
+	}
+	if err := run(); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}

@@ -25,6 +25,7 @@ type Table struct {
 	rows   [][]value.Value
 
 	indexes map[string]*HashIndex // column name -> index
+	inj     Injector              // fault-injection seam; nil in production
 }
 
 // NewTable creates an empty table over the given schema.
@@ -45,6 +46,9 @@ func (t *Table) Rows() [][]value.Value { return t.rows }
 // Insert appends a row after checking arity and column types. NULLs are
 // accepted in any column.
 func (t *Table) Insert(row []value.Value) error {
+	if err := t.fail(OpInsert); err != nil {
+		return fmt.Errorf("storage: inserting into %s: %w", t.Schema.Name, err)
+	}
 	if len(row) != len(t.Schema.Columns) {
 		return fmt.Errorf("storage: %s expects %d columns, got %d", t.Schema.Name, len(t.Schema.Columns), len(row))
 	}
@@ -170,6 +174,7 @@ func (ix *HashIndex) Lookup(v value.Value) []int {
 type DB struct {
 	Catalog *schema.Catalog
 	tables  map[string]*Table
+	inj     Injector // fault-injection seam; nil in production
 }
 
 // NewDB creates an empty database with an empty catalog.
@@ -180,10 +185,16 @@ func NewDB() *DB {
 // CreateTable registers the schema in the catalog and creates an empty
 // table for it.
 func (db *DB) CreateTable(s *schema.Relation) (*Table, error) {
+	if db.inj != nil {
+		if err := db.inj.Fail(s.Name, OpCreateTable); err != nil {
+			return nil, fmt.Errorf("storage: creating table %s: %w", s.Name, err)
+		}
+	}
 	if err := db.Catalog.Add(s); err != nil {
 		return nil, err
 	}
 	t := NewTable(s)
+	t.inj = db.inj
 	db.tables[s.Name] = t
 	return t, nil
 }
@@ -221,6 +232,9 @@ func (db *DB) Clone() (*DB, error) {
 	out := NewDB()
 	for _, name := range db.Catalog.Names() {
 		src := db.tables[name]
+		if err := src.fail(OpClone); err != nil {
+			return nil, fmt.Errorf("storage: cloning %s: %w", name, err)
+		}
 		dst, err := out.CreateTable(src.Schema.Clone())
 		if err != nil {
 			return nil, fmt.Errorf("storage: cloning %s: %w", name, err)
