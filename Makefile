@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint race fmt fuzz
+.PHONY: all build test lint race fmt fuzz bench-json
 
 all: build lint test
 
@@ -31,3 +31,8 @@ lint:
 
 fmt:
 	gofmt -w .
+
+# Serial-vs-parallel timings for Figures 7 and 8 as machine-readable
+# JSON (ns per op at worker counts 1/2/4, plus the host's core count).
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_PR3.json

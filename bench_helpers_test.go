@@ -3,14 +3,15 @@ package conquer
 import (
 	"conquer/internal/core"
 	"conquer/internal/dirty"
+	"conquer/internal/engine"
 	"conquer/internal/plan"
 	"conquer/internal/sqlparse"
 )
 
 // Thin adapters keeping bench_test.go readable.
 
-func planOptionsIndexJoin() plan.Options {
-	return plan.Options{PreferIndexJoin: true}
+func planOptionsIndexJoin() engine.Options {
+	return engine.Options{Plan: plan.Options{PreferIndexJoin: true}}
 }
 
 func coreViaRewriting(d *dirty.DB, q *sqlparse.SelectStmt) (*core.Result, error) {

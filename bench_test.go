@@ -173,6 +173,56 @@ func BenchmarkFig8Rewritten(b *testing.B) {
 	}
 }
 
+// BenchmarkFig8Parallelism times Query 3's rewriting (the heaviest
+// three-way join of the workload) at worker counts 1, 2 and 4, exercising
+// the morsel-driven Gather, the partitioned join build and the partial
+// aggregation under the benchmark harness. On a single-CPU host the
+// parallel runs measure coordination overhead rather than speedup.
+func BenchmarkFig8Parallelism(b *testing.B) {
+	d := workload(b, 1, 3)
+	var q3 *sqlparse.SelectStmt
+	for _, p := range queryPairs(b) {
+		if p.Number == 3 {
+			q3 = p.Rewritten
+		}
+	}
+	if q3 == nil {
+		b.Fatal("query 3 missing from bench.PreparePairs()")
+	}
+	for _, n := range []int{1, 2, 4} {
+		eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: n})
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.QueryStmt(q3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7ProbCalcParallelism times the §4 probability computation
+// on lineitem at worker counts 1, 2 and 4 (one task per cluster).
+func BenchmarkFig7ProbCalcParallelism(b *testing.B) {
+	d, err := uisgen.Generate(uisgen.Config{
+		SF: 1, IF: 5, Scale: benchScale, Seed: benchSeed,
+		Propagated: true, UniformProbs: false,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	li, _ := d.Store.Table("lineitem")
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := probcalc.AnnotateTablePar(li, nil, nil, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Figure 9 — Query 3 vs tuples per cluster, with and without ORDER BY
 // ---------------------------------------------------------------------------
@@ -186,6 +236,11 @@ func BenchmarkFig9(b *testing.B) {
 		if p.Number == 3 {
 			q3 = p
 		}
+	}
+	if q3.Original == nil {
+		// Guard against a silent zero value: without Q3 the Clone below
+		// would benchmark nil statements (or panic) instead of Figure 9.
+		b.Fatal("query 3 missing from bench.PreparePairs()")
 	}
 	q3NoSort := q3.Original.Clone()
 	q3NoSort.OrderBy = nil

@@ -1,0 +1,105 @@
+// Command benchjson emits machine-readable serial-vs-parallel timings
+// for the two figures the morsel-driven execution layer accelerates:
+// Figure 7's probability calculation (one task per cluster) and Figure
+// 8's rewritten queries (parallel scans, partitioned join builds,
+// partial aggregation).
+//
+//	go run ./cmd/benchjson -out BENCH_PR3.json
+//
+// Timings are best-of-reps wall clock, reported as ns per operation
+// alongside the host's core count — speedups are only meaningful
+// relative to the cores available, and on a single-CPU host the
+// parallel rows measure coordination overhead, not speedup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"conquer/internal/bench"
+)
+
+type entry struct {
+	Name    string `json:"name"`
+	Workers int    `json:"workers"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+type report struct {
+	Cores      int     `json:"cores"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Note       string  `json:"note,omitempty"`
+	Results    []entry `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output path")
+	sf := flag.Float64("sf", 1, "TPC-H scaling factor")
+	scale := flag.Float64("scale", bench.DefaultScale, "entity-count multiplier")
+	ifv := flag.Int("if", 5, "inconsistency factor")
+	seed := flag.Int64("seed", 20060403, "generator seed")
+	reps := flag.Int("reps", 3, "repetitions (best run is reported)")
+	flag.Parse()
+
+	workers := []int{1, 2, 4}
+	rep := report{Cores: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	if rep.Cores == 1 {
+		rep.Note = "single-CPU host: parallel rows measure coordination overhead, not speedup"
+	}
+
+	for _, n := range workers {
+		best := time.Duration(0)
+		for r := 0; r < *reps; r++ {
+			rows, err := bench.Fig7Par(*sf, *scale, []int{*ifv}, *seed, n)
+			if err != nil {
+				fatal(err)
+			}
+			if d := rows[0].ProbCalc; r == 0 || d < best {
+				best = d
+			}
+		}
+		rep.Results = append(rep.Results, entry{
+			Name: fmt.Sprintf("fig7_probcalc/if=%d", *ifv), Workers: n, NsPerOp: best.Nanoseconds(),
+		})
+	}
+
+	d, err := bench.GenerateWorkload(*sf, 3, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range workers {
+		rows, err := bench.Fig8Par(d, *reps, n)
+		if err != nil {
+			fatal(err)
+		}
+		var total time.Duration
+		for _, r := range rows {
+			total += r.Rewritten
+			rep.Results = append(rep.Results, entry{
+				Name: fmt.Sprintf("fig8_rewritten/Q%d", r.Query), Workers: n, NsPerOp: r.Rewritten.Nanoseconds(),
+			})
+		}
+		rep.Results = append(rep.Results, entry{
+			Name: "fig8_rewritten/total", Workers: n, NsPerOp: total.Nanoseconds(),
+		})
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d results, %d cores)\n", *out, len(rep.Results), rep.Cores)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

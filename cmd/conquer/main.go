@@ -7,10 +7,12 @@
 //
 // Flags:
 //
-//	-dir      directory of TPC-H CSV files produced by datagen; when unset
-//	          the Figure-2 example database of the paper is loaded
-//	-c        execute one statement and exit
-//	-timeout  per-query wall-clock budget (e.g. 30s; 0 means none)
+//	-dir          directory of TPC-H CSV files produced by datagen; when
+//	              unset the Figure-2 example database of the paper is loaded
+//	-c            execute one statement and exit
+//	-timeout      per-query wall-clock budget (e.g. 30s; 0 means none)
+//	-parallelism  worker count for parallel scans, joins and aggregation
+//	              (0 = one worker per CPU; 1 forces serial execution)
 //
 // Inside the shell:
 //
@@ -55,6 +57,7 @@ func main() {
 	dir := flag.String("dir", "", "directory of TPC-H CSVs from datagen (default: the paper's Figure-2 example)")
 	oneShot := flag.String("c", "", "execute one statement and exit")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (0 = none)")
+	par := flag.Int("parallelism", 0, "workers for parallel execution (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	d, err := openDatabase(*dir)
@@ -63,7 +66,8 @@ func main() {
 		os.Exit(1)
 	}
 	limits := exec.Limits{Timeout: *timeout}
-	sh := &shell{d: d, eng: engine.NewWithLimits(d.Store, limits), limits: limits, out: os.Stdout}
+	eng := engine.NewWithOptions(d.Store, engine.Options{Limits: limits, Parallelism: *par})
+	sh := &shell{d: d, eng: eng, limits: limits, out: os.Stdout}
 
 	if *oneShot != "" {
 		if err := sh.execute(context.Background(), *oneShot); err != nil {

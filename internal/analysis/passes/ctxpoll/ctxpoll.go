@@ -8,8 +8,12 @@
 // analyzer enforces the invariant mechanically: inside package exec,
 // every for/range loop in an operator's Open or Next method must
 // contain a Poll call (directly or in a callee loop such as
-// drainBuffered). Loops that are genuinely bounded — fixed-width schema
-// iteration, per-column work — carry a "//lint:allow ctxpoll"
+// drainBuffered). The morsel-driven parallel layer (DESIGN.md §9) moves
+// row loops into worker goroutines, so the same rule applies to every
+// function literal spawned with a go statement or handed to runWorkers
+// — otherwise a worker could spin past a cancellation the coordinator
+// already observed. Loops that are genuinely bounded — fixed-width
+// schema iteration, per-column work — carry a "//lint:allow ctxpoll"
 // annotation with a reason.
 package ctxpoll
 
@@ -20,11 +24,11 @@ import (
 	"conquer/internal/analysis"
 )
 
-// Analyzer flags Open/Next loops in package exec that never poll for
-// cancellation.
+// Analyzer flags Open/Next loops and worker-function loops in package
+// exec that never poll for cancellation.
 var Analyzer = &analysis.Analyzer{
 	Name: "ctxpoll",
-	Doc:  "operator Open/Next loops in package exec must poll cancellation (governor Poll or a polling helper)",
+	Doc:  "operator Open/Next loops and worker-function loops in package exec must poll cancellation (governor Poll or a polling helper)",
 	Run:  run,
 }
 
@@ -47,25 +51,29 @@ func run(pass *analysis.Pass) (any, error) {
 		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Recv == nil || fd.Body == nil {
+			if !ok || fd.Body == nil {
 				continue
 			}
-			if fd.Name.Name != "Open" && fd.Name.Name != "Next" {
-				continue
+			if fd.Recv != nil && (fd.Name.Name == "Open" || fd.Name.Name == "Next") {
+				checkLoops(pass, fd)
 			}
-			checkLoops(pass, fd)
+			checkWorkerFuncs(pass, fd)
 		}
 	}
 	return nil, nil
 }
 
 // checkLoops reports every for/range loop in fd whose body (including
-// nested statements) never reaches a polling callee.
+// nested statements) never reaches a polling callee. Function literals
+// are separate execution contexts — the worker check owns the spawned
+// ones — so the walk does not descend into them.
 func checkLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		var body *ast.BlockStmt
 		var pos token.Pos
 		switch l := n.(type) {
+		case *ast.FuncLit:
+			return false
 		case *ast.ForStmt:
 			body, pos = l.Body, l.For
 		case *ast.RangeStmt:
@@ -78,6 +86,55 @@ func checkLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		// A polling outer loop vouches for its inner loops too: the
 		// amortized ticker advances wherever the Poll call sits.
+		return false
+	})
+}
+
+// checkWorkerFuncs reports unpolled loops inside worker function
+// literals: literals launched with a go statement or passed to
+// runWorkers anywhere in fd.
+func checkWorkerFuncs(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkWorkerLoops(pass, fd, lit)
+			}
+		case *ast.CallExpr:
+			if isRunWorkers(n.Fun) {
+				for _, arg := range n.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						checkWorkerLoops(pass, fd, lit)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isRunWorkers matches a direct call to the exec worker-pool helper.
+func isRunWorkers(fun ast.Expr) bool {
+	id, ok := fun.(*ast.Ident)
+	return ok && id.Name == "runWorkers"
+}
+
+// checkWorkerLoops is checkLoops for a worker function literal.
+func checkWorkerLoops(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var pos token.Pos
+		switch l := n.(type) {
+		case *ast.ForStmt:
+			body, pos = l.Body, l.For
+		case *ast.RangeStmt:
+			body, pos = l.Body, l.For
+		default:
+			return true
+		}
+		if !polls(body) {
+			pass.Reportf(pos, "loop in worker function spawned by %s does not poll cancellation; call the forked governor's Poll (or annotate a bounded loop with lint:allow ctxpoll)", funcName(fd))
+		}
 		return false
 	})
 }
@@ -118,4 +175,12 @@ func recvType(fd *ast.FuncDecl) string {
 		return id.Name
 	}
 	return "?"
+}
+
+// funcName names fd for diagnostics, with the receiver when present.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil {
+		return recvType(fd) + "." + fd.Name.Name
+	}
+	return fd.Name.Name
 }

@@ -90,3 +90,75 @@ func (g *GoodAnnotated) describe() int {
 	}
 	return n
 }
+
+// runWorkers stands in for the real exec worker-pool helper.
+func runWorkers(n int, fn func(w int, gov *governor) error) error {
+	for w := 0; w < n; w++ { //lint:allow ctxpoll -- bounded by worker count
+		if err := fn(w, &governor{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BadGoWorker launches a goroutine whose row loop never polls — under
+// the parallel layer such a worker outlives cancellation by its whole
+// input.
+func BadGoWorker(rows []Row) {
+	done := make(chan struct{})
+	go func() {
+		for _, r := range rows { // want `worker function spawned by BadGoWorker does not poll`
+			_ = r
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// BadPoolWorker hands runWorkers a loop that never polls its forked
+// governor.
+func BadPoolWorker(rows []Row) error {
+	return runWorkers(2, func(w int, gov *governor) error {
+		for _, r := range rows { // want `worker function spawned by BadPoolWorker does not poll`
+			_ = r
+		}
+		return nil
+	})
+}
+
+// GoodPoolWorker polls the forked governor at the top of its row loop.
+func GoodPoolWorker(rows []Row) error {
+	return runWorkers(2, func(w int, gov *governor) error {
+		for _, r := range rows {
+			if err := gov.Poll(); err != nil {
+				return err
+			}
+			_ = r
+		}
+		return nil
+	})
+}
+
+// goodGather mirrors Gather.openParallel: the worker's collection loop
+// polls, and the bounded reassembly loop is annotated.
+type goodGather struct {
+	gov *governor
+}
+
+// Open runs the partial pipelines.
+func (g *goodGather) Open() error {
+	batches := make([][]Row, 2)
+	err := runWorkers(2, func(w int, gov *governor) error {
+		for {
+			if err := gov.Poll(); err != nil {
+				return err
+			}
+			break
+		}
+		return nil
+	})
+	for _, b := range batches { //lint:allow ctxpoll -- bounded by worker count
+		_ = b
+	}
+	return err
+}

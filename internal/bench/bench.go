@@ -100,6 +100,13 @@ type Fig7Row struct {
 // unpropagated, unannotated instance and time the offline pipeline on
 // lineitem.
 func Fig7(sf, scale float64, ifs []int, seed int64) ([]Fig7Row, error) {
+	return Fig7Par(sf, scale, ifs, seed, 1)
+}
+
+// Fig7Par is Fig7 with the probability-calculation phase fanned out over
+// parallelism workers (one task per cluster); 1 reproduces the serial
+// pass exactly.
+func Fig7Par(sf, scale float64, ifs []int, seed int64, parallelism int) ([]Fig7Row, error) {
 	var out []Fig7Row
 	for _, ifv := range ifs {
 		d, err := uisgen.Generate(uisgen.Config{
@@ -121,7 +128,7 @@ func Fig7(sf, scale float64, ifs []int, seed int64) ([]Fig7Row, error) {
 		row.Propagation = time.Since(start)
 
 		start = time.Now()
-		if err := probcalc.AnnotateTable(li, nil, nil); err != nil {
+		if err := probcalc.AnnotateTablePar(li, nil, nil, parallelism); err != nil {
 			return nil, err
 		}
 		row.ProbCalc = time.Since(start)
@@ -176,11 +183,17 @@ func (r Fig8Row) Overhead() float64 {
 // Fig8 regenerates Figure 8 (sf = 1, if = 3 in the paper): the execution
 // time of each query and of its rewriting on the same instance.
 func Fig8(d *dirty.DB, reps int) ([]Fig8Row, error) {
+	return Fig8Par(d, reps, 1)
+}
+
+// Fig8Par is Fig8 with the engine's morsel-driven parallelism set to the
+// given worker count; 1 reproduces the serial engine exactly.
+func Fig8Par(d *dirty.DB, reps, parallelism int) ([]Fig8Row, error) {
 	pairs, err := PreparePairs()
 	if err != nil {
 		return nil, err
 	}
-	eng := engine.New(d.Store)
+	eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: parallelism})
 	var out []Fig8Row
 	for _, p := range pairs {
 		row := Fig8Row{Query: p.Number}

@@ -9,6 +9,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 
 	"conquer/internal/exec"
@@ -19,31 +20,57 @@ import (
 	"conquer/internal/value"
 )
 
-// Engine executes SQL over one database.
-type Engine struct {
-	db     *storage.DB
-	opts   plan.Options
-	limits exec.Limits
+// Options configures an Engine.
+type Options struct {
+	// Plan tunes physical planning (Plan.Parallelism is overwritten from
+	// Parallelism below at query time).
+	Plan plan.Options
+	// Limits is the per-query execution budget.
+	Limits exec.Limits
+	// Parallelism is the worker count for morsel-driven parallel
+	// execution; 0 defaults to runtime.GOMAXPROCS(0), 1 forces serial
+	// execution.
+	Parallelism int
 }
 
-// New creates an engine over db with default planning options and no
-// execution limits.
+// Engine executes SQL over one database.
+type Engine struct {
+	db   *storage.DB
+	opts Options
+}
+
+// New creates an engine over db with default options (parallelism
+// tracks GOMAXPROCS).
 func New(db *storage.DB) *Engine { return &Engine{db: db} }
 
-// NewWithOptions creates an engine with explicit planner options.
-func NewWithOptions(db *storage.DB, opts plan.Options) *Engine {
+// NewWithOptions creates an engine with explicit options.
+func NewWithOptions(db *storage.DB, opts Options) *Engine {
 	return &Engine{db: db, opts: opts}
 }
 
 // NewWithLimits creates an engine whose queries run under the given
 // execution budget.
 func NewWithLimits(db *storage.DB, limits exec.Limits) *Engine {
-	return &Engine{db: db, limits: limits}
+	return &Engine{db: db, opts: Options{Limits: limits}}
 }
 
 // SetLimits replaces the engine's execution budget for subsequent
 // queries.
-func (e *Engine) SetLimits(limits exec.Limits) { e.limits = limits }
+func (e *Engine) SetLimits(limits exec.Limits) { e.opts.Limits = limits }
+
+// SetParallelism sets the worker count for subsequent queries (0 tracks
+// GOMAXPROCS, 1 forces serial execution).
+func (e *Engine) SetParallelism(n int) { e.opts.Parallelism = n }
+
+// planOptions resolves the effective planner options for one query.
+func (e *Engine) planOptions() plan.Options {
+	opts := e.opts.Plan
+	opts.Parallelism = e.opts.Parallelism
+	if opts.Parallelism == 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return opts
+}
 
 // DB returns the underlying database.
 func (e *Engine) DB() *storage.DB { return e.db }
@@ -82,13 +109,13 @@ func (e *Engine) QueryStmt(stmt *sqlparse.SelectStmt) (*Result, error) {
 // the stack captured.
 func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (res *Result, err error) {
 	defer qerr.Recover(&err)
-	ctx, cancel := e.limits.WithContext(ctx)
+	ctx, cancel := e.opts.Limits.WithContext(ctx)
 	defer cancel()
-	op, err := plan.Plan(e.db, stmt, e.opts)
+	op, err := plan.Plan(e.db, stmt, e.planOptions())
 	if err != nil {
 		return nil, err
 	}
-	gov := exec.NewGovernor(ctx, e.limits)
+	gov := exec.NewGovernor(ctx, e.opts.Limits)
 	exec.Attach(op, gov)
 	rows, err := exec.CollectGoverned(op, gov)
 	if err != nil {
@@ -103,7 +130,7 @@ func (e *Engine) Explain(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	op, err := plan.Plan(e.db, stmt, e.opts)
+	op, err := plan.Plan(e.db, stmt, e.planOptions())
 	if err != nil {
 		return "", err
 	}

@@ -268,7 +268,7 @@ func TestIndexJoinOption(t *testing.T) {
 	if err := cust.CreateIndex("id"); err != nil {
 		t.Fatal(err)
 	}
-	e := NewWithOptions(db, plan.Options{PreferIndexJoin: true})
+	e := NewWithOptions(db, Options{Plan: plan.Options{PreferIndexJoin: true}})
 	out, err := e.Explain("select o.id, c.id from orders o, customer c where o.cidfk = c.id")
 	if err != nil {
 		t.Fatal(err)
@@ -297,7 +297,7 @@ func TestPlannerEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	idx, err := NewWithOptions(db, plan.Options{PreferIndexJoin: true}).Query(q)
+	idx, err := NewWithOptions(db, Options{Plan: plan.Options{PreferIndexJoin: true}}).Query(q)
 	if err != nil {
 		t.Fatal(err)
 	}

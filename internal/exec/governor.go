@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"conquer/internal/qerr"
@@ -51,20 +52,42 @@ func (l Limits) WithoutTimeout() Limits {
 // poll it for cancellation inside their row loops and account the rows
 // they buffer against the shared budget. A nil *Governor is valid and
 // imposes nothing, so operators are usable ungoverned (tests, internal
-// rewrites). Governor is not safe for concurrent use; each query
-// executes on one goroutine.
+// rewrites).
+//
+// One Governor value serves one goroutine (its poll ticker is not
+// synchronized), but the budget counters live in state shared by every
+// governor Fork derives, so parallel workers draw on the same budget.
 type Governor struct {
-	ctx      context.Context
-	limits   Limits
-	tick     qerr.Ticker
-	buffered int64
-	output   int64
+	ctx    context.Context
+	limits Limits
+	tick   qerr.Ticker
+	shared *govShared
+}
+
+// govShared is the budget state common to a governor and all its forks;
+// counters are atomic because forks run on worker goroutines.
+type govShared struct {
+	buffered atomic.Int64
+	output   atomic.Int64
 }
 
 // NewGovernor creates a governor enforcing limits under ctx. Timeout is
 // not applied here — see Limits.WithContext.
 func NewGovernor(ctx context.Context, limits Limits) *Governor {
-	return &Governor{ctx: ctx, limits: limits}
+	return &Governor{ctx: ctx, limits: limits, shared: &govShared{}}
+}
+
+// Fork derives a governor for a worker goroutine running under ctx
+// (typically a cancelable child of the parent's context, so the
+// coordinator can drain the pool on first error). The fork has a fresh
+// poll ticker but draws on the parent's budget counters. Forking a nil
+// governor yields a context-only governor: workers of an ungoverned
+// tree still poll for pool cancellation, they just have no budget.
+func (g *Governor) Fork(ctx context.Context) *Governor {
+	if g == nil {
+		return &Governor{ctx: ctx}
+	}
+	return &Governor{ctx: ctx, limits: g.limits, shared: g.shared}
 }
 
 // Context returns the governing context (context.Background for a nil
@@ -89,13 +112,13 @@ func (g *Governor) Poll() error {
 // ReserveBuffered charges n rows against the buffered-row budget,
 // failing with qerr.ErrBudgetExceeded once the budget is exhausted.
 func (g *Governor) ReserveBuffered(n int64) error {
-	if g == nil {
+	if g == nil || g.shared == nil {
 		return nil
 	}
-	g.buffered += n
-	if g.limits.MaxBufferedRows > 0 && g.buffered > g.limits.MaxBufferedRows {
+	buffered := g.shared.buffered.Add(n)
+	if g.limits.MaxBufferedRows > 0 && buffered > g.limits.MaxBufferedRows {
 		return fmt.Errorf("exec: %d buffered rows exceed budget %d: %w",
-			g.buffered, g.limits.MaxBufferedRows, qerr.ErrBudgetExceeded)
+			buffered, g.limits.MaxBufferedRows, qerr.ErrBudgetExceeded)
 	}
 	return nil
 }
@@ -103,30 +126,29 @@ func (g *Governor) ReserveBuffered(n int64) error {
 // ReleaseBuffered returns n previously reserved rows to the budget;
 // operators call it from Close when they drop their state.
 func (g *Governor) ReleaseBuffered(n int64) {
-	if g == nil {
+	if g == nil || g.shared == nil {
 		return
 	}
-	g.buffered -= n
-	if g.buffered < 0 {
-		g.buffered = 0
+	if g.shared.buffered.Add(-n) < 0 {
+		g.shared.buffered.Store(0)
 	}
 }
 
 // Buffered returns the rows currently charged against the budget.
 func (g *Governor) Buffered() int64 {
-	if g == nil {
+	if g == nil || g.shared == nil {
 		return 0
 	}
-	return g.buffered
+	return g.shared.buffered.Load()
 }
 
 // CountOutput charges one result row against the output budget.
 func (g *Governor) CountOutput() error {
-	if g == nil {
+	if g == nil || g.shared == nil {
 		return nil
 	}
-	g.output++
-	if g.limits.MaxOutputRows > 0 && g.output > g.limits.MaxOutputRows {
+	output := g.shared.output.Add(1)
+	if g.limits.MaxOutputRows > 0 && output > g.limits.MaxOutputRows {
 		return fmt.Errorf("exec: output rows exceed budget %d: %w",
 			g.limits.MaxOutputRows, qerr.ErrBudgetExceeded)
 	}

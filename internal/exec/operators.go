@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"conquer/internal/qerr"
 	"conquer/internal/sqlparse"
 	"conquer/internal/storage"
 	"conquer/internal/value"
@@ -165,18 +166,28 @@ func (p *Project) Describe() string {
 // HashJoin is an equi-join: it builds a hash table on the right input keyed
 // by the right key expressions, then probes with left rows. NULL join keys
 // match nothing, as in SQL.
+//
+// With Parallelism > 1 the build runs as a partitioned parallel build
+// (see joinBuild); splitPipeline additionally shards the probe side, the
+// shards sharing one build.
 type HashJoin struct {
 	Left, Right         Operator
 	LeftKeys, RightKeys []sqlparse.Expr
+	// Parallelism is the worker count for the build phase (<= 1 builds
+	// serially); MorselSize overrides DefaultMorselSize for tests.
+	Parallelism int
+	MorselSize  int
 
 	govHolder
-	schema   RowSchema
-	lk, rk   []Evaluator
-	table    map[uint64][]buildEntry
-	reserved int64        // build rows charged against the buffered budget
-	cur      []buildEntry // matches pending for current left row
-	curLeft  []value.Value
-	curIdx   int
+	schema  RowSchema
+	lk, rk  []Evaluator
+	build   *joinBuild
+	shard   bool          // probe shard sharing a split-time build
+	keyBuf  []value.Value // probe key scratch, reused per left row
+	cur     []buildEntry  // hash bucket pending for current left row
+	curKeys []value.Value // probe keys of the pending bucket (aliases keyBuf)
+	curLeft []value.Value
+	curIdx  int
 }
 
 type buildEntry struct {
@@ -210,46 +221,28 @@ func NewHashJoin(left, right Operator, leftKeys, rightKeys []sqlparse.Expr) (*Ha
 
 func (j *HashJoin) Schema() RowSchema { return j.schema }
 
-// Open builds the hash table over the right input.
+// Open builds (or, for a probe shard, waits for) the hash table over the
+// right input.
 func (j *HashJoin) Open() error {
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
-	if err := j.Right.Open(); err != nil {
-		return err
+	if !j.shard {
+		j.build = newJoinBuild(j.Right, j.rk, j.Parallelism, 1, j.MorselSize)
+	} else if j.build == nil {
+		return fmt.Errorf("exec: probe shard reopened after close: %w", qerr.ErrInternal)
 	}
-	j.table = make(map[uint64][]buildEntry)
-	j.cur, j.curLeft, j.curIdx = nil, nil, 0
-	for {
-		if err := j.gov.Poll(); err != nil {
-			return err
-		}
-		row, err := j.Right.Next()
-		if err != nil {
-			return err
-		}
-		if row == nil {
-			break
-		}
-		keys, null, err := evalKeys(j.rk, row)
-		if err != nil {
-			return err
-		}
-		if null {
-			continue // NULL keys never join
-		}
-		if err := j.gov.ReserveBuffered(1); err != nil {
-			return err
-		}
-		j.reserved++
-		h := value.HashRow(keys)
-		j.table[h] = append(j.table[h], buildEntry{keys: keys, row: row})
+	j.cur, j.curKeys, j.curLeft, j.curIdx = nil, nil, nil, 0
+	if j.keyBuf == nil {
+		j.keyBuf = make([]value.Value, len(j.lk))
 	}
-	return j.Right.Close()
+	return j.build.run(j.gov)
 }
 
-func evalKeys(evs []Evaluator, row []value.Value) ([]value.Value, bool, error) {
-	keys := make([]value.Value, len(evs))
+// evalKeysInto evaluates the key expressions into buf (reused across
+// rows on the probe hot path); null reports a NULL key, which never
+// joins.
+func evalKeysInto(evs []Evaluator, row, buf []value.Value) (keys []value.Value, null bool, err error) {
 	for i, ev := range evs {
 		v, err := ev(row)
 		if err != nil {
@@ -258,12 +251,18 @@ func evalKeys(evs []Evaluator, row []value.Value) ([]value.Value, bool, error) {
 		if v.IsNull() {
 			return nil, true, nil
 		}
-		keys[i] = v
+		buf[i] = v
 	}
-	return keys, false, nil
+	return buf, false, nil
 }
 
-// Next produces the next joined row.
+func evalKeys(evs []Evaluator, row []value.Value) ([]value.Value, bool, error) {
+	return evalKeysInto(evs, row, make([]value.Value, len(evs)))
+}
+
+// Next produces the next joined row. The pending bucket is filtered
+// lazily against curKeys, so a probe allocates nothing beyond the output
+// rows themselves.
 func (j *HashJoin) Next() ([]value.Value, error) {
 	for {
 		if err := j.gov.Poll(); err != nil {
@@ -272,6 +271,9 @@ func (j *HashJoin) Next() ([]value.Value, error) {
 		for j.curIdx < len(j.cur) {
 			e := j.cur[j.curIdx]
 			j.curIdx++
+			if !keysEqual(e.keys, j.curKeys) {
+				continue
+			}
 			out := make([]value.Value, 0, len(j.schema))
 			out = append(out, j.curLeft...)
 			out = append(out, e.row...)
@@ -284,20 +286,16 @@ func (j *HashJoin) Next() ([]value.Value, error) {
 		if left == nil {
 			return nil, nil
 		}
-		keys, null, err := evalKeys(j.lk, left)
+		keys, null, err := evalKeysInto(j.lk, left, j.keyBuf)
 		if err != nil {
 			return nil, err
 		}
 		if null {
 			continue
 		}
-		var matches []buildEntry
-		for _, e := range j.table[value.HashRow(keys)] {
-			if keysEqual(e.keys, keys) {
-				matches = append(matches, e)
-			}
-		}
-		j.cur, j.curLeft, j.curIdx = matches, left, 0
+		// keys aliases keyBuf, which stays untouched until this bucket is
+		// exhausted and the next left row is probed.
+		j.cur, j.curKeys, j.curLeft, j.curIdx = j.build.lookup(value.HashRow(keys)), keys, left, 0
 	}
 }
 
@@ -311,9 +309,11 @@ func keysEqual(a, b []value.Value) bool {
 }
 
 func (j *HashJoin) Close() error {
-	j.table = nil
-	j.gov.ReleaseBuffered(j.reserved)
-	j.reserved = 0
+	if j.build != nil {
+		j.build.close(j.gov)
+		j.build = nil
+	}
+	j.cur, j.curKeys = nil, nil
 	return j.Left.Close()
 }
 
@@ -323,7 +323,11 @@ func (j *HashJoin) Describe() string {
 	for i := range j.LeftKeys {
 		parts[i] = j.LeftKeys[i].SQL() + " = " + j.RightKeys[i].SQL()
 	}
-	return "HashJoin(" + strings.Join(parts, " AND ") + ")"
+	s := "HashJoin(" + strings.Join(parts, " AND ") + ")"
+	if j.Parallelism > 1 {
+		s += fmt.Sprintf(" [parallel build n=%d]", j.Parallelism)
+	}
+	return s
 }
 
 // IndexJoin is an index nested-loop equi-join: for each outer row it probes
@@ -526,6 +530,11 @@ type HashAggregate struct {
 	Child  Operator
 	Groups []sqlparse.Expr
 	Aggs   []AggSpec
+	// Parallelism is the worker count for partial aggregation (<= 1
+	// aggregates serially); MorselSize overrides DefaultMorselSize for
+	// tests.
+	Parallelism int
+	MorselSize  int
 
 	govHolder
 	schema   RowSchema
@@ -538,6 +547,7 @@ type HashAggregate struct {
 
 type aggState struct {
 	groupVals []value.Value
+	ord       uint64 // first-appearance ordinal, orders the parallel merge
 	count     []int64
 	sum       []float64
 	sumIsInt  []bool
@@ -580,105 +590,144 @@ func NewHashAggregate(child Operator, groups []sqlparse.Expr, groupCols []ColInf
 
 func (a *HashAggregate) Schema() RowSchema { return a.schema }
 
-// Open drains the child and builds all groups.
-func (a *HashAggregate) Open() error {
-	if err := a.Child.Open(); err != nil {
-		return err
+// aggAcc is the accumulation state of one aggregation pass: the serial
+// pass uses one, each parallel worker builds its own.
+type aggAcc struct {
+	groups   map[uint64][]*aggState
+	order    []*aggState // first-appearance order
+	scratch  []value.Value
+	reserved int64
+}
+
+func (a *HashAggregate) newAcc() *aggAcc {
+	return &aggAcc{
+		groups:  make(map[uint64][]*aggState),
+		scratch: make([]value.Value, len(a.groupEvs)),
 	}
-	defer a.Child.Close()
-	groups := make(map[uint64][]*aggState)
-	var order []*aggState
+}
+
+func (a *HashAggregate) newState(gv []value.Value, ord uint64) *aggState {
 	n := len(a.Aggs)
-	scratch := make([]value.Value, len(a.groupEvs)) // reused per row
-	for {
-		if err := a.gov.Poll(); err != nil {
-			return err
-		}
-		row, err := a.Child.Next()
+	st := &aggState{
+		groupVals: append([]value.Value(nil), gv...),
+		ord:       ord,
+		count:     make([]int64, n),
+		sum:       make([]float64, n),
+		sumIsInt:  make([]bool, n),
+		min:       make([]value.Value, n),
+		max:       make([]value.Value, n),
+		seen:      make([]bool, n),
+	}
+	for i := range st.sumIsInt {
+		st.sumIsInt[i] = true
+	}
+	return st
+}
+
+// accumulate folds one child row into acc, reserving budget through gov
+// (the caller's governor — a worker fork during parallel aggregation)
+// for each new group.
+func (a *HashAggregate) accumulate(acc *aggAcc, row []value.Value, gov *Governor, ord uint64) error {
+	gv := acc.scratch
+	for i, ev := range a.groupEvs {
+		v, err := ev(row)
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		gv[i] = v
+	}
+	h := value.HashRow(gv)
+	var st *aggState
+	for _, cand := range acc.groups[h] {
+		if value.RowsIdentical(cand.groupVals, gv) {
+			st = cand
 			break
 		}
-		gv := scratch
-		for i, ev := range a.groupEvs {
-			v, err := ev(row)
-			if err != nil {
-				return err
-			}
-			gv[i] = v
+	}
+	if st == nil {
+		acc.reserved++ // a failed reservation still charges (drainBuffered convention)
+		if err := gov.ReserveBuffered(1); err != nil {
+			return err
 		}
-		h := value.HashRow(gv)
-		var st *aggState
-		for _, cand := range groups[h] {
-			if value.RowsIdentical(cand.groupVals, gv) {
-				st = cand
-				break
-			}
-		}
-		if st == nil {
-			if err := a.gov.ReserveBuffered(1); err != nil {
-				return err
-			}
-			a.reserved++
-			st = &aggState{
-				groupVals: append([]value.Value(nil), gv...),
-				count:     make([]int64, n),
-				sum:       make([]float64, n),
-				sumIsInt:  make([]bool, n),
-				min:       make([]value.Value, n),
-				max:       make([]value.Value, n),
-				seen:      make([]bool, n),
-			}
-			for i := range st.sumIsInt {
-				st.sumIsInt[i] = true
-			}
-			groups[h] = append(groups[h], st)
-			order = append(order, st)
-		}
-		for i, spec := range a.Aggs {
-			if a.argEvs[i] == nil { // COUNT(*)
-				st.count[i]++
-				continue
-			}
-			v, err := a.argEvs[i](row)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				continue // aggregates skip NULLs
-			}
+		st = a.newState(gv, ord)
+		acc.groups[h] = append(acc.groups[h], st)
+		acc.order = append(acc.order, st)
+	}
+	for i, spec := range a.Aggs {
+		if a.argEvs[i] == nil { // COUNT(*)
 			st.count[i]++
-			switch spec.Func {
-			case AggSum, AggAvg:
-				if !v.IsNumeric() {
-					return fmt.Errorf("exec: %v over non-numeric value", spec.Func)
-				}
-				if v.Kind() != value.KindInt {
-					st.sumIsInt[i] = false
-				}
-				st.sum[i] += v.AsFloat()
-			case AggMin:
-				if !st.seen[i] || value.Compare(v, st.min[i]) < 0 {
-					st.min[i] = v
-				}
-			case AggMax:
-				if !st.seen[i] || value.Compare(v, st.max[i]) > 0 {
-					st.max[i] = v
-				}
+			continue
+		}
+		v, err := a.argEvs[i](row)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue // aggregates skip NULLs
+		}
+		st.count[i]++
+		switch spec.Func {
+		case AggSum, AggAvg:
+			if !v.IsNumeric() {
+				return fmt.Errorf("exec: %v over non-numeric value", spec.Func)
 			}
-			st.seen[i] = true
+			if v.Kind() != value.KindInt {
+				st.sumIsInt[i] = false
+			}
+			st.sum[i] += v.AsFloat()
+		case AggMin:
+			if !st.seen[i] || value.Compare(v, st.min[i]) < 0 {
+				st.min[i] = v
+			}
+		case AggMax:
+			if !st.seen[i] || value.Compare(v, st.max[i]) > 0 {
+				st.max[i] = v
+			}
+		}
+		st.seen[i] = true
+	}
+	return nil
+}
+
+// combine merges a worker-local partial state into dst. Counts and sums
+// add; min/max compare; the first-appearance ordinal is the minimum, so
+// the merged output order matches the serial pass.
+func combine(dst, src *aggState, aggs []AggSpec) {
+	if src.ord < dst.ord {
+		dst.ord = src.ord
+	}
+	for i, spec := range aggs {
+		dst.count[i] += src.count[i]
+		dst.sum[i] += src.sum[i]
+		if !src.sumIsInt[i] {
+			dst.sumIsInt[i] = false
+		}
+		switch spec.Func {
+		case AggMin:
+			if src.seen[i] && (!dst.seen[i] || value.Compare(src.min[i], dst.min[i]) < 0) {
+				dst.min[i] = src.min[i]
+			}
+		case AggMax:
+			if src.seen[i] && (!dst.seen[i] || value.Compare(src.max[i], dst.max[i]) > 0) {
+				dst.max[i] = src.max[i]
+			}
+		}
+		if src.seen[i] {
+			dst.seen[i] = true
 		}
 	}
+}
+
+// emit finishes the states into output rows.
+func (a *HashAggregate) emit(order []*aggState) error {
 	// Global aggregate over an empty input still yields one row.
 	if len(a.groupEvs) == 0 && len(order) == 0 {
-		st := &aggState{
+		n := len(a.Aggs)
+		order = append(order, &aggState{
 			count: make([]int64, n), sum: make([]float64, n),
 			sumIsInt: make([]bool, n), min: make([]value.Value, n),
 			max: make([]value.Value, n), seen: make([]bool, n),
-		}
-		order = append(order, st)
+		})
 	}
 	a.out = a.out[:0]
 	for _, st := range order {
@@ -694,6 +743,43 @@ func (a *HashAggregate) Open() error {
 	}
 	a.pos = 0
 	return nil
+}
+
+// Open drains the child and builds all groups, with parallel partial
+// aggregation when Parallelism > 1 and the child pipeline splits.
+func (a *HashAggregate) Open() error {
+	if a.Parallelism > 1 {
+		if parts, leaves, ok := splitPipeline(a.Child, a.Parallelism, a.MorselSize); ok {
+			return a.openParallel(parts, leaves)
+		}
+	}
+	if err := a.Child.Open(); err != nil {
+		return err
+	}
+	defer a.Child.Close()
+	acc := a.newAcc()
+	var ord uint64
+	for {
+		if err := a.gov.Poll(); err != nil {
+			a.reserved = acc.reserved
+			return err
+		}
+		row, err := a.Child.Next()
+		if err != nil {
+			a.reserved = acc.reserved
+			return err
+		}
+		if row == nil {
+			break
+		}
+		if err := a.accumulate(acc, row, a.gov, ord); err != nil {
+			a.reserved = acc.reserved
+			return err
+		}
+		ord++
+	}
+	a.reserved = acc.reserved
+	return a.emit(acc.order)
 }
 
 func finishAgg(f AggFunc, st *aggState, i int) value.Value {
@@ -746,7 +832,11 @@ func (a *HashAggregate) Close() error {
 
 // Describe implements Operator.
 func (a *HashAggregate) Describe() string {
-	return fmt.Sprintf("HashAggregate(%d groups, %d aggs)", len(a.Groups), len(a.Aggs))
+	s := fmt.Sprintf("HashAggregate(%d groups, %d aggs)", len(a.Groups), len(a.Aggs))
+	if a.Parallelism > 1 {
+		s += fmt.Sprintf(" [parallel n=%d]", a.Parallelism)
+	}
+	return s
 }
 
 // SortKey is one sort criterion over the child schema: either an

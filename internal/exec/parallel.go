@@ -1,0 +1,714 @@
+// Morsel-driven parallel execution (see DESIGN.md §9).
+//
+// Base-table scans are split into fixed-size morsels handed out by an
+// atomic cursor; a pipeline over such a scan (filters, projections, the
+// probe side of hash and index joins) splits into N independent partial
+// pipelines that workers drive to completion. Three operators consume
+// partial pipelines:
+//
+//   - Gather runs N partial pipelines to completion and re-emits their
+//     rows in morsel order, so a parallel scan→filter→project plan
+//     produces exactly the serial row order.
+//   - HashJoin builds its hash table with partitioned parallel workers
+//     (per-worker, per-partition vectors merged without locks) and can
+//     itself split into probe shards sharing one build.
+//   - HashAggregate aggregates each partial pipeline into thread-local
+//     groups and merges them in a final phase.
+//
+// Every worker polls a forked Governor, the first worker error (or a
+// cancellation) drains the pool, and panics cross goroutine boundaries
+// only through qerr.Recover.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"conquer/internal/qerr"
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+// DefaultMorselSize is the number of base-table rows per morsel. Small
+// enough that a handful of morsels exist even at this repository's
+// reduced bench scales, large enough that the claim overhead (one atomic
+// add) vanishes against per-row evaluation cost.
+const DefaultMorselSize = 1024
+
+// morselSizeOr resolves a configured morsel size (0 means the default).
+func morselSizeOr(n int) int {
+	if n > 0 {
+		return n
+	}
+	return DefaultMorselSize
+}
+
+// morselCursor hands out disjoint row ranges ("morsels") of one base
+// table to competing workers. Claim order is global scan order, which
+// the order-preserving consumers rely on.
+type morselCursor struct {
+	next  atomic.Int64
+	size  int
+	total int
+}
+
+func newMorselCursor(total, size int) *morselCursor {
+	return &morselCursor{size: size, total: total}
+}
+
+// claim returns the next unclaimed morsel index and row range, or
+// ok=false when the table is exhausted.
+func (c *morselCursor) claim() (m, lo, hi int, ok bool) {
+	m = int(c.next.Add(1)) - 1
+	lo = m * c.size
+	if lo >= c.total {
+		return 0, 0, 0, false
+	}
+	hi = lo + c.size
+	if hi > c.total {
+		hi = c.total
+	}
+	return m, lo, hi, true
+}
+
+// morsels returns how many morsels the cursor will hand out.
+func (c *morselCursor) morsels() int {
+	return (c.total + c.size - 1) / c.size
+}
+
+// leafTracker is implemented by the leaf of a partial pipeline; it
+// reports which morsel produced the row most recently returned by the
+// pipeline, letting consumers restore global order and derive stable
+// per-row ordinals.
+type leafTracker interface {
+	currentMorsel() int
+}
+
+// MorselScan is the leaf of a partial pipeline: a Scan over whichever
+// morsels of the shared cursor this worker wins.
+type MorselScan struct {
+	Table *storage.Table
+	Alias string
+
+	govHolder
+	schema RowSchema
+	cursor *morselCursor
+	morsel int
+	pos    int
+	end    int
+}
+
+func (s *MorselScan) Schema() RowSchema { return s.schema }
+
+// Open resets the worker-local range (the shared cursor is reset by
+// re-splitting, not here — resetting per part would race).
+func (s *MorselScan) Open() error { s.pos, s.end, s.morsel = 0, 0, -1; return nil }
+
+// Next returns the next row of the current morsel, claiming a new morsel
+// when it runs dry.
+func (s *MorselScan) Next() ([]value.Value, error) {
+	for {
+		if err := s.gov.Poll(); err != nil {
+			return nil, err
+		}
+		if s.pos < s.end {
+			if err := s.Table.ScanFault(); err != nil {
+				return nil, fmt.Errorf("exec: scanning %s: %w", s.Table.Schema.Name, err)
+			}
+			row := s.Table.Row(s.pos)
+			s.pos++
+			return row, nil
+		}
+		m, lo, hi, ok := s.cursor.claim()
+		if !ok {
+			return nil, nil
+		}
+		s.morsel, s.pos, s.end = m, lo, hi
+	}
+}
+
+func (s *MorselScan) Close() error { return nil }
+
+func (s *MorselScan) currentMorsel() int { return s.morsel }
+
+// Describe implements Operator.
+func (s *MorselScan) Describe() string {
+	return fmt.Sprintf("MorselScan(%s AS %s)", s.Table.Schema.Name, s.Alias)
+}
+
+// CanSplit reports whether splitPipeline can parallelize op: a pipeline
+// of filters, projections and join probes over base-table scans.
+func CanSplit(op Operator) bool {
+	switch op := op.(type) {
+	case *Scan:
+		return true
+	case *Filter:
+		return CanSplit(op.Child)
+	case *Project:
+		return CanSplit(op.Child)
+	case *HashJoin:
+		return CanSplit(op.Left)
+	case *IndexJoin:
+		return CanSplit(op.Outer)
+	}
+	return false
+}
+
+// splitPipeline clones op into at most n independent partial pipelines
+// over a fresh shared morsel cursor. Compiled evaluators are shared —
+// they are pure functions of the row — while all iteration state is
+// per-part. The returned leaves report morsel provenance for each part.
+// Fewer than n parts come back when the base table has fewer morsels
+// than workers.
+func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, bool) {
+	switch op := op.(type) {
+	case *Scan:
+		cur := newMorselCursor(op.Table.Len(), morselSizeOr(morselSize))
+		if m := cur.morsels(); m > 0 && m < n {
+			n = m
+		}
+		parts := make([]Operator, n)
+		leaves := make([]leafTracker, n)
+		for i := range parts {
+			ms := &MorselScan{Table: op.Table, Alias: op.Alias, schema: op.schema, cursor: cur}
+			parts[i], leaves[i] = ms, ms
+		}
+		return parts, leaves, true
+
+	case *Filter:
+		children, leaves, ok := splitPipeline(op.Child, n, morselSize)
+		if !ok {
+			return nil, nil, false
+		}
+		parts := make([]Operator, len(children))
+		for i, c := range children {
+			parts[i] = &Filter{Child: c, Pred: op.Pred, test: op.test}
+		}
+		return parts, leaves, true
+
+	case *Project:
+		children, leaves, ok := splitPipeline(op.Child, n, morselSize)
+		if !ok {
+			return nil, nil, false
+		}
+		parts := make([]Operator, len(children))
+		for i, c := range children {
+			parts[i] = &Project{Child: c, schema: op.schema, evals: op.evals}
+		}
+		return parts, leaves, true
+
+	case *HashJoin:
+		children, leaves, ok := splitPipeline(op.Left, n, morselSize)
+		if !ok {
+			return nil, nil, false
+		}
+		build := newJoinBuild(op.Right, op.rk, op.Parallelism, len(children), morselSize)
+		parts := make([]Operator, len(children))
+		for i, c := range children {
+			// Right stays nil on shards: the shared build owns the right
+			// input, and leaving it reachable would make every worker's
+			// Attach race on the one template operator.
+			parts[i] = &HashJoin{
+				Left:     c,
+				LeftKeys: op.LeftKeys, RightKeys: op.RightKeys,
+				Parallelism: op.Parallelism, MorselSize: op.MorselSize,
+				schema: op.schema, lk: op.lk, rk: op.rk,
+				build: build, shard: true,
+			}
+		}
+		return parts, leaves, true
+
+	case *IndexJoin:
+		children, leaves, ok := splitPipeline(op.Outer, n, morselSize)
+		if !ok {
+			return nil, nil, false
+		}
+		parts := make([]Operator, len(children))
+		for i, c := range children {
+			parts[i] = &IndexJoin{
+				Outer: c, InnerTable: op.InnerTable, InnerAlias: op.InnerAlias,
+				OuterKey: op.OuterKey, InnerCol: op.InnerCol,
+				schema: op.schema, ok: op.ok, index: op.index,
+			}
+		}
+		return parts, leaves, true
+	}
+	return nil, nil, false
+}
+
+// runWorkers runs fn on n goroutines under a cancelable child of the
+// parent governor's context: each worker receives a forked governor
+// (fresh poll ticker, shared budget), the first failure cancels the
+// rest so the pool drains, and panics cross the goroutine boundary only
+// as qerr.Recover errors. runWorkers returns after every worker has
+// exited; the returned error prefers the root cause over the secondary
+// cancellations it triggered.
+func runWorkers(parent *Governor, n int, fn func(w int, gov *Governor) error) error {
+	ctx, cancel := context.WithCancel(parent.Context())
+	defer cancel()
+	errs := make(chan error, n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			var err error
+			func() {
+				defer qerr.Recover(&err)
+				err = fn(w, parent.Fork(ctx))
+			}()
+			if err != nil {
+				cancel()
+			}
+			errs <- err
+		}(w)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		err := <-errs
+		switch {
+		case err == nil:
+		case first == nil:
+			first = err
+		case errors.Is(first, qerr.ErrCanceled) && !errors.Is(err, qerr.ErrCanceled):
+			first = err
+		}
+	}
+	return first
+}
+
+// closeAll closes every part, keeping the first error. The coordinator
+// calls it after the worker barrier so shared state (e.g. a join build
+// referenced by all probe shards) is released exactly once, even when a
+// worker failed before opening its part.
+func closeAll(parts []Operator) error {
+	var first error
+	for _, p := range parts {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ---------------------------------------------------------------------------
+// Gather
+// ---------------------------------------------------------------------------
+
+// Gather is the exchange operator: it runs N partial pipelines to
+// completion on worker goroutines and re-emits their rows in morsel
+// order, so its output order (and content) matches the serial plan
+// row-for-row. When the child cannot split (or N <= 1) it degenerates
+// to a transparent pass-through.
+//
+// The reassembly buffer is not charged against MaxBufferedRows: it holds
+// exactly the rows the client is about to receive, which MaxOutputRows
+// already governs; charging them would make a streaming query's budget
+// depend on its degree of parallelism.
+type Gather struct {
+	Child Operator
+	N     int
+	// MorselSize overrides DefaultMorselSize (0 = default); exposed for
+	// tests that need many morsels over small tables.
+	MorselSize int
+
+	govHolder
+	serial bool
+	rows   [][]value.Value
+	pos    int
+}
+
+// NewGather wraps child in an exchange over n workers.
+func NewGather(child Operator, n int) *Gather {
+	return &Gather{Child: child, N: n}
+}
+
+func (g *Gather) Schema() RowSchema { return g.Child.Schema() }
+
+// gatherBatch is one run of rows a worker produced from a single morsel.
+type gatherBatch struct {
+	morsel int
+	rows   [][]value.Value
+}
+
+// Open splits the child and runs the partial pipelines to completion.
+func (g *Gather) Open() error {
+	g.rows, g.pos = nil, 0
+	if g.N > 1 {
+		if parts, leaves, ok := splitPipeline(g.Child, g.N, g.MorselSize); ok {
+			g.serial = false
+			return g.openParallel(parts, leaves)
+		}
+	}
+	g.serial = true
+	return g.Child.Open()
+}
+
+func (g *Gather) openParallel(parts []Operator, leaves []leafTracker) error {
+	perWorker := make([][]gatherBatch, len(parts))
+	err := runWorkers(g.gov, len(parts), func(w int, gov *Governor) error {
+		part, leaf := parts[w], leaves[w]
+		Attach(part, gov)
+		if err := part.Open(); err != nil {
+			return err
+		}
+		var out []gatherBatch
+		cur := -1
+		for {
+			if err := gov.Poll(); err != nil {
+				return err
+			}
+			row, err := part.Next()
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				break
+			}
+			if m := leaf.currentMorsel(); m != cur {
+				out = append(out, gatherBatch{morsel: m})
+				cur = m
+			}
+			b := &out[len(out)-1]
+			b.rows = append(b.rows, row)
+		}
+		perWorker[w] = out
+		return nil
+	})
+	if cerr := closeAll(parts); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	var batches []gatherBatch
+	for _, bs := range perWorker {
+		batches = append(batches, bs...)
+	}
+	sort.Slice(batches, func(i, j int) bool { return batches[i].morsel < batches[j].morsel })
+	total := 0
+	for _, b := range batches {
+		total += len(b.rows)
+	}
+	g.rows = make([][]value.Value, 0, total)
+	for _, b := range batches {
+		if err := g.gov.Poll(); err != nil {
+			return err
+		}
+		g.rows = append(g.rows, b.rows...)
+	}
+	return nil
+}
+
+// Next emits the reassembled rows (or streams from the child in serial
+// fallback mode).
+func (g *Gather) Next() ([]value.Value, error) {
+	if g.serial {
+		return g.Child.Next()
+	}
+	if g.pos >= len(g.rows) {
+		return nil, nil
+	}
+	row := g.rows[g.pos]
+	g.pos++
+	return row, nil
+}
+
+func (g *Gather) Close() error {
+	g.rows = nil
+	if g.serial {
+		return g.Child.Close()
+	}
+	return nil
+}
+
+// Describe implements Operator.
+func (g *Gather) Describe() string { return fmt.Sprintf("Gather[n=%d]", g.N) }
+
+// ---------------------------------------------------------------------------
+// Partitioned parallel hash-join build
+// ---------------------------------------------------------------------------
+
+// taggedEntry is a build entry tagged with its global right-input
+// ordinal ((morsel << 32) | sequence-within-morsel), used to restore the
+// serial insertion order after the partitioned parallel build.
+type taggedEntry struct {
+	ord uint64
+	e   buildEntry
+}
+
+// joinBuild is a hash-join build shared by one or more probe shards: the
+// first Open runs it (serially, or with partitioned parallel workers),
+// later opens reuse the result, and the table is released when the last
+// shard closes.
+type joinBuild struct {
+	right       Operator
+	rk          []Evaluator
+	parallelism int
+	morselSize  int
+
+	once     onceErr
+	refs     atomic.Int32
+	reserved atomic.Int64
+	parts    []map[uint64][]buildEntry
+	mask     uint64
+}
+
+// onceErr is a sync.Once that remembers the error of its single run.
+type onceErr struct {
+	done atomic.Bool
+	mu   chan struct{} // 1-buffered: acts as a mutex usable with defer
+	err  error
+}
+
+func newJoinBuild(right Operator, rk []Evaluator, parallelism, refs, morselSize int) *joinBuild {
+	b := &joinBuild{right: right, rk: rk, parallelism: parallelism, morselSize: morselSize}
+	b.once.mu = make(chan struct{}, 1)
+	b.refs.Store(int32(refs))
+	return b
+}
+
+// run executes the build exactly once under the first caller's governor;
+// concurrent callers block until it finishes and share its error.
+func (b *joinBuild) run(gov *Governor) error {
+	if b.once.done.Load() {
+		return b.once.err
+	}
+	b.once.mu <- struct{}{}
+	defer func() { <-b.once.mu }()
+	if b.once.done.Load() {
+		return b.once.err
+	}
+	b.once.err = b.build(gov)
+	b.once.done.Store(true)
+	return b.once.err
+}
+
+// lookup returns the bucket for hash h.
+func (b *joinBuild) lookup(h uint64) []buildEntry {
+	return b.parts[h&b.mask][h]
+}
+
+// close releases the build when the last referencing shard closes.
+func (b *joinBuild) close(gov *Governor) {
+	if b.refs.Add(-1) != 0 {
+		return
+	}
+	b.parts = nil
+	gov.ReleaseBuffered(b.reserved.Load())
+	b.reserved.Store(0)
+}
+
+func (b *joinBuild) build(gov *Governor) error {
+	if b.parallelism > 1 {
+		if parts, leaves, ok := splitPipeline(b.right, b.parallelism, b.morselSize); ok {
+			return b.buildParallel(gov, parts, leaves)
+		}
+	}
+	return b.buildSerial(gov)
+}
+
+// buildSerial is the classic single-threaded build into one partition.
+func (b *joinBuild) buildSerial(gov *Governor) error {
+	if err := b.right.Open(); err != nil {
+		return err
+	}
+	defer b.right.Close()
+	table := make(map[uint64][]buildEntry)
+	b.parts, b.mask = []map[uint64][]buildEntry{table}, 0
+	for {
+		if err := gov.Poll(); err != nil {
+			return err
+		}
+		row, err := b.right.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		keys, null, err := evalKeys(b.rk, row)
+		if err != nil {
+			return err
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		b.reserved.Add(1) // a failed reservation still charges (drainBuffered convention)
+		if err := gov.ReserveBuffered(1); err != nil {
+			return err
+		}
+		h := value.HashRow(keys)
+		table[h] = append(table[h], buildEntry{keys: keys, row: row})
+	}
+}
+
+// buildParallel drains the split right input with worker goroutines.
+// Each worker routes its entries into per-worker per-partition vectors
+// (no shared state), then one worker per partition merges the vectors —
+// sorted by right-input ordinal, so every bucket ends up in exactly the
+// serial insertion order — without any locks.
+func (b *joinBuild) buildParallel(gov *Governor, parts []Operator, leaves []leafTracker) error {
+	w := len(parts)
+	p := 1
+	for p < w {
+		p <<= 1
+	}
+	mask := uint64(p - 1)
+	locals := make([][][]taggedEntry, w)
+	err := runWorkers(gov, w, func(i int, g *Governor) error {
+		part, leaf := parts[i], leaves[i]
+		Attach(part, g)
+		if err := part.Open(); err != nil {
+			return err
+		}
+		local := make([][]taggedEntry, p)
+		lastMorsel, seq := -1, uint64(0)
+		for {
+			if err := g.Poll(); err != nil {
+				return err
+			}
+			row, err := part.Next()
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				break
+			}
+			if m := leaf.currentMorsel(); m != lastMorsel {
+				lastMorsel, seq = m, 0
+			}
+			ord := uint64(lastMorsel)<<32 | seq
+			seq++
+			keys, null, err := evalKeys(b.rk, row)
+			if err != nil {
+				return err
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			b.reserved.Add(1) // a failed reservation still charges (drainBuffered convention)
+			if err := g.ReserveBuffered(1); err != nil {
+				return err
+			}
+			h := value.HashRow(keys)
+			pi := h & mask
+			local[pi] = append(local[pi], taggedEntry{ord: ord, e: buildEntry{keys: keys, row: row}})
+		}
+		locals[i] = local
+		return nil
+	})
+	if cerr := closeAll(parts); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	tables := make([]map[uint64][]buildEntry, p)
+	mergeErr := runWorkers(gov, min(w, p), func(i int, g *Governor) error {
+		for pi := i; pi < p; pi += w {
+			var entries []taggedEntry
+			for _, local := range locals {
+				entries = append(entries, local[pi]...)
+			}
+			sort.Slice(entries, func(x, y int) bool { return entries[x].ord < entries[y].ord })
+			table := make(map[uint64][]buildEntry, len(entries))
+			for _, te := range entries {
+				if err := g.Poll(); err != nil {
+					return err
+				}
+				h := value.HashRow(te.e.keys)
+				table[h] = append(table[h], te.e)
+			}
+			tables[pi] = table
+		}
+		return nil
+	})
+	if mergeErr != nil {
+		return mergeErr
+	}
+	b.parts, b.mask = tables, mask
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Parallel partial aggregation
+// ---------------------------------------------------------------------------
+
+// openParallel drains the split child with worker goroutines, each
+// folding its morsels into a thread-local aggAcc, then merges the
+// partials. Merged groups are ordered by first-appearance ordinal, so
+// group order matches the serial pass exactly; float SUM/AVG values may
+// differ in the last bits because partial sums re-associate the
+// addition.
+func (a *HashAggregate) openParallel(parts []Operator, leaves []leafTracker) error {
+	accs := make([]*aggAcc, len(parts))
+	err := runWorkers(a.gov, len(parts), func(w int, gov *Governor) error {
+		part, leaf := parts[w], leaves[w]
+		Attach(part, gov)
+		if err := part.Open(); err != nil {
+			return err
+		}
+		acc := a.newAcc()
+		accs[w] = acc // pre-published so error paths can release acc.reserved
+		lastMorsel, seq := -1, uint64(0)
+		for {
+			if err := gov.Poll(); err != nil {
+				return err
+			}
+			row, err := part.Next()
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return nil
+			}
+			if m := leaf.currentMorsel(); m != lastMorsel {
+				lastMorsel, seq = m, 0
+			}
+			if err := a.accumulate(acc, row, gov, uint64(lastMorsel)<<32|seq); err != nil {
+				return err
+			}
+			seq++
+		}
+	})
+	for _, acc := range accs {
+		if acc != nil {
+			a.reserved += acc.reserved
+		}
+	}
+	if cerr := closeAll(parts); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	merged := a.newAcc()
+	var surplus int64
+	for _, acc := range accs {
+		for _, st := range acc.order {
+			if err := a.gov.Poll(); err != nil {
+				return err
+			}
+			h := value.HashRow(st.groupVals)
+			var dst *aggState
+			for _, cand := range merged.groups[h] {
+				if value.RowsIdentical(cand.groupVals, st.groupVals) {
+					dst = cand
+					break
+				}
+			}
+			if dst == nil {
+				merged.groups[h] = append(merged.groups[h], st)
+				merged.order = append(merged.order, st)
+				continue
+			}
+			combine(dst, st, a.Aggs)
+			surplus++
+		}
+	}
+	sort.Slice(merged.order, func(i, j int) bool { return merged.order[i].ord < merged.order[j].ord })
+	a.gov.ReleaseBuffered(surplus)
+	a.reserved -= surplus
+	return a.emit(merged.order)
+}

@@ -1,0 +1,280 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"conquer/internal/qerr"
+	"conquer/internal/schema"
+	"conquer/internal/sqlparse"
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+// parTables builds a deterministic fact table of n rows plus a 97-key
+// dimension table, sized so small morsel sizes yield many morsels.
+func parTables(t testing.TB, n int) (*storage.Table, *storage.Table) {
+	t.Helper()
+	fS := schema.MustRelation("fact",
+		schema.Column{Name: "id", Type: value.KindInt},
+		schema.Column{Name: "k", Type: value.KindInt},
+		schema.Column{Name: "qty", Type: value.KindInt},
+		schema.Column{Name: "w", Type: value.KindFloat},
+	)
+	fact := storage.NewTable(fS)
+	for i := 0; i < n; i++ {
+		fact.MustInsert(value.Int(int64(i)), value.Int(int64(i%97)),
+			value.Int(int64(i%7)), value.Float(float64(i%13)*0.25))
+	}
+	dS := schema.MustRelation("dim",
+		schema.Column{Name: "k", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindString},
+	)
+	dim := storage.NewTable(dS)
+	for i := 0; i < 97; i++ {
+		dim.MustInsert(value.Int(int64(i)), value.Str(fmt.Sprintf("n%03d", i)))
+	}
+	return fact, dim
+}
+
+func colRef(q, n string) sqlparse.Expr { return &sqlparse.ColumnRef{Qualifier: q, Name: n} }
+
+// scanFilterProject builds Project(id, w)←Filter(qty < 5)←Scan(fact).
+func scanFilterProject(t testing.TB, fact *storage.Table) Operator {
+	t.Helper()
+	sc := NewScan(fact, "f")
+	f, err := NewFilter(sc, expr(t, "qty < 5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProject(f, []ProjectionCol{
+		{Expr: colRef("f", "id"), Col: ColInfo{Name: "id", Type: value.KindInt}},
+		{Expr: colRef("f", "w"), Col: ColInfo{Name: "w", Type: value.KindFloat}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustCollect(t testing.TB, op Operator) [][]value.Value {
+	t.Helper()
+	rows, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func requireSameRows(t *testing.T, want, got [][]value.Value) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("row count: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if !value.RowsIdentical(want[i], got[i]) {
+			t.Fatalf("row %d differs: want %v, got %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestGatherMatchesSerialScanPipeline(t *testing.T) {
+	fact, _ := parTables(t, 5000)
+	want := mustCollect(t, scanFilterProject(t, fact))
+	if len(want) == 0 {
+		t.Fatal("empty baseline")
+	}
+	for _, n := range []int{2, 3, 8} {
+		g := NewGather(scanFilterProject(t, fact), n)
+		g.MorselSize = 64
+		requireSameRows(t, want, mustCollect(t, g))
+	}
+}
+
+func TestGatherSerialFallback(t *testing.T) {
+	fact, _ := parTables(t, 100)
+	// A Sort child is not splittable: Gather must pass through untouched.
+	srt, err := NewSort(NewScan(fact, "f"), []SortKey{SortKeyPos(0, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mustCollect(t, srt)
+	srt2, err := NewSort(NewScan(fact, "f"), []SortKey{SortKeyPos(0, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameRows(t, want, mustCollect(t, NewGather(srt2, 8)))
+}
+
+func buildJoin(t testing.TB, fact, dim *storage.Table, par, morsel int) *HashJoin {
+	t.Helper()
+	j, err := NewHashJoin(NewScan(fact, "f"), NewScan(dim, "d"),
+		[]sqlparse.Expr{colRef("f", "k")}, []sqlparse.Expr{colRef("d", "k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Parallelism, j.MorselSize = par, morsel
+	return j
+}
+
+func TestParallelJoinBuildMatchesSerial(t *testing.T) {
+	fact, dim := parTables(t, 3000)
+	want := mustCollect(t, buildJoin(t, fact, dim, 1, 0))
+	for _, n := range []int{2, 4} {
+		requireSameRows(t, want, mustCollect(t, buildJoin(t, fact, dim, n, 32)))
+	}
+}
+
+func TestGatherOverJoinMatchesSerial(t *testing.T) {
+	fact, dim := parTables(t, 3000)
+	want := mustCollect(t, buildJoin(t, fact, dim, 1, 0))
+	g := NewGather(buildJoin(t, fact, dim, 4, 0), 4)
+	g.MorselSize = 64
+	requireSameRows(t, want, mustCollect(t, g))
+}
+
+func buildAgg(t testing.TB, fact *storage.Table, par, morsel int) *HashAggregate {
+	t.Helper()
+	sc := NewScan(fact, "f")
+	a, err := NewHashAggregate(sc,
+		[]sqlparse.Expr{colRef("f", "k")},
+		[]ColInfo{{Name: "k", Type: value.KindInt}},
+		[]AggSpec{
+			{Func: AggCount, Col: ColInfo{Name: "n", Type: value.KindInt}},
+			{Func: AggSum, Arg: colRef("f", "qty"), Col: ColInfo{Name: "sq", Type: value.KindInt}},
+			{Func: AggSum, Arg: colRef("f", "w"), Col: ColInfo{Name: "sw", Type: value.KindFloat}},
+			{Func: AggMin, Arg: colRef("f", "id"), Col: ColInfo{Name: "mn", Type: value.KindInt}},
+			{Func: AggMax, Arg: colRef("f", "id"), Col: ColInfo{Name: "mx", Type: value.KindInt}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Parallelism, a.MorselSize = par, morsel
+	return a
+}
+
+func TestParallelAggregateMatchesSerial(t *testing.T) {
+	fact, _ := parTables(t, 5000)
+	want := mustCollect(t, buildAgg(t, fact, 1, 0))
+	for _, n := range []int{2, 8} {
+		got := mustCollect(t, buildAgg(t, fact, n, 64))
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: group count: want %d, got %d", n, len(want), len(got))
+		}
+		for i := range want {
+			// Group keys, COUNT, integer SUM, MIN and MAX are exact; the
+			// float SUM re-associates across partials, so compare with the
+			// canonical epsilon.
+			for c := range want[i] {
+				w, g := want[i][c], got[i][c]
+				if w.Kind() == value.KindFloat || g.Kind() == value.KindFloat {
+					if !value.FloatEq(w.AsFloat(), g.AsFloat(), value.ProbEpsilon) {
+						t.Fatalf("n=%d: row %d col %d: want %v, got %v", n, i, c, w, g)
+					}
+					continue
+				}
+				if !value.Identical(w, g) {
+					t.Fatalf("n=%d: row %d col %d: want %v, got %v", n, i, c, w, g)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelGlobalAggregate(t *testing.T) {
+	fact, _ := parTables(t, 2000)
+	sc := NewScan(fact, "f")
+	a, err := NewHashAggregate(sc, nil, nil, []AggSpec{
+		{Func: AggCount, Col: ColInfo{Name: "n", Type: value.KindInt}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Parallelism, a.MorselSize = 4, 32
+	rows := mustCollect(t, a)
+	if len(rows) != 1 || rows[0][0].AsInt() != 2000 {
+		t.Fatalf("global count = %v", rows)
+	}
+}
+
+// TestGatherWorkerError proves a mid-stream evaluation error in one
+// worker drains the pool and surfaces as the root cause.
+func TestGatherWorkerError(t *testing.T) {
+	fact, _ := parTables(t, 5000)
+	sc := NewScan(fact, "f")
+	// Errors exactly at id = 2500, deep into the scan.
+	f, err := NewFilter(sc, expr(t, "1 / (id - 2500) >= 0 OR qty >= 0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGather(f, 4)
+	g.MorselSize = 64
+	_, err = Collect(g)
+	if err == nil {
+		t.Fatal("want evaluation error, got nil")
+	}
+	if errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("root cause should win over secondary cancellations, got %v", err)
+	}
+}
+
+// TestGatherCancellation proves cancellation under Gather returns
+// qerr.ErrCanceled and leaks no worker goroutines.
+func TestGatherCancellation(t *testing.T) {
+	fact, dim := parTables(t, 5000)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // workers observe cancellation on their first poll
+	g := NewGather(buildJoin(t, fact, dim, 4, 0), 4)
+	g.MorselSize = 64
+	gov := NewGovernor(ctx, Limits{})
+	Attach(g, gov)
+	_, err := CollectGoverned(g, gov)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("want qerr.ErrCanceled, got %v", err)
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i >= 100 {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestParallelBuildBudget proves the shared buffered-row budget is
+// enforced across build workers and fully released on Close.
+func TestParallelBuildBudget(t *testing.T) {
+	fact, dim := parTables(t, 3000)
+	j := buildJoin(t, fact, dim, 4, 8)
+	gov := NewGovernor(context.Background(), Limits{MaxBufferedRows: 10})
+	Attach(j, gov)
+	if err := j.Open(); !errors.Is(err, qerr.ErrBudgetExceeded) {
+		t.Fatalf("want qerr.ErrBudgetExceeded, got %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := gov.Buffered(); got != 0 {
+		t.Fatalf("budget not released after Close: %d rows still charged", got)
+	}
+}
+
+func TestGatherExplain(t *testing.T) {
+	fact, _ := parTables(t, 100)
+	g := NewGather(scanFilterProject(t, fact), 8)
+	out := Explain(g)
+	if want := "Gather[n=8]"; !strings.Contains(out, want) {
+		t.Fatalf("Explain missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "Scan(fact") {
+		t.Fatalf("Explain should show the template pipeline:\n%s", out)
+	}
+}

@@ -131,11 +131,16 @@ func explain(b *strings.Builder, op Operator, depth int) {
 
 func children(op Operator) []Operator {
 	switch op := op.(type) {
+	case *Gather:
+		return []Operator{op.Child}
 	case *Filter:
 		return []Operator{op.Child}
 	case *Project:
 		return []Operator{op.Child}
 	case *HashJoin:
+		if op.Right == nil { // probe shard: the shared build owns the right input
+			return []Operator{op.Left}
+		}
 		return []Operator{op.Left, op.Right}
 	case *IndexJoin:
 		return []Operator{op.Outer}

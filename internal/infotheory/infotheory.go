@@ -8,7 +8,10 @@
 // All logarithms are base 2; quantities are in bits.
 package infotheory
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Entropy returns H(p) = -Σ p_i log2 p_i for a (not necessarily
 // normalized) distribution; zero entries contribute nothing.
@@ -113,18 +116,24 @@ func MutualInformation(joint [][]float64) float64 {
 type Sparse = map[int]float64
 
 // JSSparse is JS over sparse distributions; entries absent from both
-// contribute nothing, so the cost is O(|p| + |q|) regardless of the
-// vocabulary size.
+// contribute nothing, so the cost is O(|p|·log|p| + |q|·log|q|) regardless
+// of the vocabulary size. Terms are summed in sorted key order: float
+// addition is not associative, and Go randomizes map iteration, so
+// accumulating in map order would make the result vary run to run —
+// sorted order keeps every distance (and everything built on it)
+// bit-reproducible, serial or parallel.
 func JSSparse(w1, w2 float64, p, q Sparse) float64 {
 	d := 0.0
-	for k, pk := range p {
+	for _, k := range sortedKeys(p) {
+		pk := p[k]
 		if pk <= 0 {
 			continue
 		}
 		m := w1*pk + w2*q[k]
 		d += w1 * pk * math.Log2(pk/m)
 	}
-	for k, qk := range q {
+	for _, k := range sortedKeys(q) {
+		qk := q[k]
 		if qk <= 0 {
 			continue
 		}
@@ -132,6 +141,15 @@ func JSSparse(w1, w2 float64, p, q Sparse) float64 {
 		d += w2 * qk * math.Log2(qk/m)
 	}
 	return d
+}
+
+func sortedKeys(s Sparse) []int {
+	keys := make([]int, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // MergeDistanceSparse is MergeDistance over sparse distributions.

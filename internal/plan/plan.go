@@ -21,6 +21,11 @@ type Options struct {
 	// the inner relation has a stored index on the join column; otherwise a
 	// hash join is built on the fly.
 	PreferIndexJoin bool
+	// Parallelism is the worker count for morsel-driven parallel
+	// execution: hash-join builds and aggregations run partitioned in
+	// parallel, and splittable plan roots are wrapped in an exec.Gather
+	// exchange. Values <= 1 plan strictly serial execution.
+	Parallelism int
 }
 
 // Plan builds an executable operator tree for stmt over db.
@@ -73,6 +78,12 @@ func (p *planner) plan() (exec.Operator, error) {
 	root, outNames, err := p.buildOutput(root)
 	if err != nil {
 		return nil, err
+	}
+	// Parallelize a splittable pipeline root (scan→filter→project plans;
+	// aggregate plans instead parallelize inside HashAggregate) with a
+	// Gather exchange below DISTINCT/ORDER BY/LIMIT.
+	if p.opts.Parallelism > 1 && exec.CanSplit(root) {
+		root = exec.NewGather(root, p.opts.Parallelism)
 	}
 	if p.stmt.Distinct {
 		root = exec.NewDistinct(root)
@@ -352,7 +363,12 @@ func (p *planner) join(outer exec.Operator, src *tableSource, outerKeys, innerKe
 		}
 		innerOp = f
 	}
-	return exec.NewHashJoin(outer, innerOp, outerKeys, innerKeys)
+	j, err := exec.NewHashJoin(outer, innerOp, outerKeys, innerKeys)
+	if err != nil {
+		return nil, err
+	}
+	j.Parallelism = p.opts.Parallelism
+	return j, nil
 }
 
 // buildOutput constructs projection or aggregation over the join result and
@@ -543,6 +559,7 @@ func (p *planner) buildAggregate(root exec.Operator, items []sqlparse.SelectItem
 	if err != nil {
 		return nil, nil, err
 	}
+	agg.Parallelism = p.opts.Parallelism
 
 	var filtered exec.Operator = agg
 	if having != nil {

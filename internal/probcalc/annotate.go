@@ -46,6 +46,12 @@ func AnnotateTable(tb *storage.Table, attrCols []string, d Distance) error {
 // makes the cost quadratic in cluster size) poll ctx, so annotation of a
 // large relation can be canceled or run under a deadline.
 func AnnotateTableCtx(ctx context.Context, tb *storage.Table, attrCols []string, d Distance) error {
+	return annotateTable(ctx, tb, attrCols, d, 1)
+}
+
+// annotateTable is the shared implementation behind AnnotateTableCtx and
+// AnnotateTableParCtx; parallelism <= 1 keeps the assignment serial.
+func annotateTable(ctx context.Context, tb *storage.Table, attrCols []string, d Distance, parallelism int) error {
 	rel := tb.Schema
 	idIdx := rel.IdentifierIndex()
 	probIdx := rel.ProbIndex()
@@ -91,7 +97,7 @@ func AnnotateTableCtx(ctx context.Context, tb *storage.Table, attrCols []string,
 		clusterIDs[i] = row[idIdx].String()
 	}
 
-	assignments, err := AssignProbabilitiesCtx(ctx, ds, clusterIDs, d)
+	assignments, err := AssignProbabilitiesParCtx(ctx, ds, clusterIDs, d, parallelism)
 	if err != nil {
 		return err
 	}

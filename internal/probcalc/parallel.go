@@ -1,0 +1,183 @@
+package probcalc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"conquer/internal/qerr"
+	"conquer/internal/storage"
+)
+
+// assignCluster runs the Figure-5 procedure for one cluster, writing the
+// assignments into out at the cluster's own row indices. Clusters are
+// disjoint row sets, so concurrent calls for different clusters never
+// touch the same out element — which is what makes per-cluster
+// parallelism safe (and bit-deterministic) under Dfn 2: no arithmetic
+// ever crosses a cluster boundary.
+func (ds *Dataset) assignCluster(ctx context.Context, tick *qerr.Ticker, cid string, rows []int, d Distance, total int, out []Assignment) error {
+	rep, err := ds.Representative(rows)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 1 {
+		out[rows[0]] = Assignment{Row: rows[0], Cluster: cid, Similarity: 1, Prob: 1}
+		return nil
+	}
+	s := 0.0
+	dist := make([]float64, len(rows))
+	for k, i := range rows {
+		if err := tick.Poll(ctx); err != nil {
+			return err
+		}
+		dist[k] = d(ds.SingletonDCF(i), rep, total)
+		s += dist[k]
+	}
+	k := float64(len(rows))
+	for idx, i := range rows {
+		a := Assignment{Row: i, Cluster: cid, Distance: dist[idx]}
+		if s <= 0 {
+			// All members identical: uniform.
+			a.Similarity = 1
+			a.Prob = 1 / k
+		} else {
+			a.Similarity = 1 - dist[idx]/s
+			a.Prob = a.Similarity / (k - 1)
+		}
+		out[i] = a
+	}
+	return nil
+}
+
+// groupClusters groups tuple indices by cluster id, preserving
+// first-appearance order.
+func groupClusters(clusterIDs []string) (order []string, rowsOf map[string][]int) {
+	rowsOf = map[string][]int{}
+	for i, id := range clusterIDs {
+		if _, ok := rowsOf[id]; !ok {
+			order = append(order, id)
+		}
+		rowsOf[id] = append(rowsOf[id], i)
+	}
+	return order, rowsOf
+}
+
+// AssignProbabilitiesPar is AssignProbabilities with per-cluster
+// parallelism; see AssignProbabilitiesParCtx.
+func AssignProbabilitiesPar(ds *Dataset, clusterIDs []string, d Distance, parallelism int) ([]Assignment, error) {
+	return AssignProbabilitiesParCtx(context.Background(), ds, clusterIDs, d, parallelism)
+}
+
+// AssignProbabilitiesParCtx runs the Figure-5 procedure with a worker
+// pool claiming one cluster at a time. Results are bit-identical to the
+// serial pass: DCF construction and information-loss distances never
+// cross cluster boundaries (Dfn 2 makes clusters independent worlds),
+// so each cluster's arithmetic is the same instruction stream regardless
+// of which worker runs it. The first worker error (or a cancellation)
+// drains the pool; panics cross the goroutine boundary only through
+// qerr.Recover.
+func AssignProbabilitiesParCtx(ctx context.Context, ds *Dataset, clusterIDs []string, d Distance, parallelism int) ([]Assignment, error) {
+	if len(clusterIDs) != ds.Len() {
+		return nil, fmt.Errorf("probcalc: %d cluster ids for %d tuples", len(clusterIDs), ds.Len())
+	}
+	if d == nil {
+		d = InformationLoss
+	}
+	order, rowsOf := groupClusters(clusterIDs)
+	if parallelism > len(order) {
+		parallelism = len(order)
+	}
+	out := make([]Assignment, ds.Len())
+	total := ds.Len()
+	if parallelism <= 1 {
+		var tick qerr.Ticker
+		for _, cid := range order {
+			if err := ds.assignCluster(ctx, &tick, cid, rowsOf[cid], d, total, out); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	errs := make(chan error, parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			var err error
+			func() {
+				defer qerr.Recover(&err)
+				var tick qerr.Ticker
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= len(order) {
+						return
+					}
+					if err = tick.Poll(wctx); err != nil {
+						return
+					}
+					cid := order[c]
+					if err = ds.assignCluster(wctx, &tick, cid, rowsOf[cid], d, total, out); err != nil {
+						return
+					}
+				}
+			}()
+			if err != nil {
+				cancel()
+			}
+			errs <- err
+		}()
+	}
+	var first error
+	for w := 0; w < parallelism; w++ {
+		err := <-errs
+		switch {
+		case err == nil:
+		case first == nil:
+			first = err
+		case errors.Is(first, qerr.ErrCanceled) && !errors.Is(err, qerr.ErrCanceled):
+			first = err
+		}
+	}
+	if first != nil {
+		return nil, first
+	}
+	return out, nil
+}
+
+// AnnotateAllPar is AnnotateAll with per-cluster parallelism inside each
+// table; tables themselves are annotated one at a time.
+func AnnotateAllPar(db *storage.DB, d Distance, parallelism int) error {
+	return AnnotateAllParCtx(context.Background(), db, d, parallelism)
+}
+
+// AnnotateAllParCtx is AnnotateAllCtx with per-cluster parallelism.
+func AnnotateAllParCtx(ctx context.Context, db *storage.DB, d Distance, parallelism int) error {
+	for _, name := range db.TableNames() {
+		tb, _ := db.Table(name)
+		if !tb.Schema.IsDirty() {
+			continue
+		}
+		if err := AnnotateTableParCtx(ctx, tb, nil, d, parallelism); err != nil {
+			return fmt.Errorf("annotating %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// AnnotateTablePar is AnnotateTable with per-cluster parallelism; see
+// AnnotateTableParCtx.
+func AnnotateTablePar(tb *storage.Table, attrCols []string, d Distance, parallelism int) error {
+	return AnnotateTableParCtx(context.Background(), tb, attrCols, d, parallelism)
+}
+
+// AnnotateTableParCtx is AnnotateTableCtx with the probability
+// assignment fanned out across parallelism workers, one task per
+// cluster. The dataset build and the probability-column writeback stay
+// serial: the former is a single linear scan, the latter must not race
+// UpdateColumn's index maintenance.
+func AnnotateTableParCtx(ctx context.Context, tb *storage.Table, attrCols []string, d Distance, parallelism int) error {
+	return annotateTable(ctx, tb, attrCols, d, parallelism)
+}

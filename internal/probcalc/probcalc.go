@@ -22,7 +22,6 @@ import (
 	"sort"
 
 	"conquer/internal/infotheory"
-	"conquer/internal/qerr"
 )
 
 // Dataset is a set of categorical tuples over named attributes, with a
@@ -176,62 +175,7 @@ func AssignProbabilities(ds *Dataset, clusterIDs []string, d Distance) ([]Assign
 // merging behind Representative — polls ctx and aborts with a qerr
 // cancellation error when it fires.
 func AssignProbabilitiesCtx(ctx context.Context, ds *Dataset, clusterIDs []string, d Distance) ([]Assignment, error) {
-	if len(clusterIDs) != ds.Len() {
-		return nil, fmt.Errorf("probcalc: %d cluster ids for %d tuples", len(clusterIDs), ds.Len())
-	}
-	if d == nil {
-		d = InformationLoss
-	}
-	var tick qerr.Ticker
-	// Group rows by cluster, preserving first-appearance order.
-	order := []string{}
-	rowsOf := map[string][]int{}
-	for i, id := range clusterIDs {
-		if _, ok := rowsOf[id]; !ok {
-			order = append(order, id)
-		}
-		rowsOf[id] = append(rowsOf[id], i)
-	}
-
-	out := make([]Assignment, ds.Len())
-	total := ds.Len()
-	for _, cid := range order {
-		rows := rowsOf[cid]
-		// Step 1: representative.
-		rep, err := ds.Representative(rows)
-		if err != nil {
-			return nil, err
-		}
-		if len(rows) == 1 {
-			out[rows[0]] = Assignment{Row: rows[0], Cluster: cid, Similarity: 1, Prob: 1}
-			continue
-		}
-		// Step 2: distances and their sum S(c).
-		s := 0.0
-		dist := make([]float64, len(rows))
-		for k, i := range rows {
-			if err := tick.Poll(ctx); err != nil {
-				return nil, err
-			}
-			dist[k] = d(ds.SingletonDCF(i), rep, total)
-			s += dist[k]
-		}
-		// Step 3: similarities and probabilities.
-		k := float64(len(rows))
-		for idx, i := range rows {
-			a := Assignment{Row: i, Cluster: cid, Distance: dist[idx]}
-			if s <= 0 {
-				// All members identical: uniform.
-				a.Similarity = 1
-				a.Prob = 1 / k
-			} else {
-				a.Similarity = 1 - dist[idx]/s
-				a.Prob = a.Similarity / (k - 1)
-			}
-			out[i] = a
-		}
-	}
-	return out, nil
+	return AssignProbabilitiesParCtx(ctx, ds, clusterIDs, d, 1)
 }
 
 // RankCluster returns the assignments of one cluster sorted from most to

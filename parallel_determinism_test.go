@@ -1,0 +1,130 @@
+// Determinism suite for the morsel-driven parallel execution layer: every
+// evaluation query — original and rewritten — must return the same rows
+// in the same order at every worker count, with probabilities within the
+// canonical epsilon (parallel partial aggregation re-associates float
+// sums; everything else is exact).
+package conquer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"conquer/internal/bench"
+	"conquer/internal/dirty"
+	"conquer/internal/engine"
+	"conquer/internal/qerr"
+	"conquer/internal/value"
+)
+
+func determinismWorkload(t *testing.T) *dirty.DB {
+	t.Helper()
+	d, err := bench.GenerateWorkload(1, 3, benchScale, benchSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// sameResult compares two results: identical shape and row order, exact
+// values everywhere except floats, which get ProbEpsilon.
+func sameResult(t *testing.T, label string, want, got *engine.Result) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		if len(got.Rows[i]) != len(want.Rows[i]) {
+			t.Fatalf("%s: row %d has %d columns, want %d", label, i, len(got.Rows[i]), len(want.Rows[i]))
+		}
+		for c := range want.Rows[i] {
+			w, g := want.Rows[i][c], got.Rows[i][c]
+			if w.Kind() == value.KindFloat || g.Kind() == value.KindFloat {
+				if !value.FloatEq(w.AsFloat(), g.AsFloat(), value.ProbEpsilon) {
+					t.Fatalf("%s: row %d col %d: %v vs serial %v", label, i, c, g, w)
+				}
+				continue
+			}
+			if !value.Identical(w, g) {
+				t.Fatalf("%s: row %d col %d: %v vs serial %v", label, i, c, g, w)
+			}
+		}
+	}
+}
+
+// TestParallelExecutionDeterministic runs all thirteen evaluation query
+// pairs serially and at parallelism 2 and 8, requiring identical results.
+func TestParallelExecutionDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a TPC-H workload")
+	}
+	d := determinismWorkload(t)
+	pairs, err := bench.PreparePairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 13 {
+		t.Fatalf("PreparePairs returned %d pairs, want 13", len(pairs))
+	}
+	serial := engine.NewWithOptions(d.Store, engine.Options{Parallelism: 1})
+	for _, n := range []int{2, 8} {
+		par := engine.NewWithOptions(d.Store, engine.Options{Parallelism: n})
+		for _, p := range pairs {
+			want, err := serial.QueryStmt(p.Original)
+			if err != nil {
+				t.Fatalf("Q%d original serial: %v", p.Number, err)
+			}
+			got, err := par.QueryStmt(p.Original)
+			if err != nil {
+				t.Fatalf("Q%d original n=%d: %v", p.Number, n, err)
+			}
+			sameResult(t, fmt.Sprintf("Q%d original n=%d", p.Number, n), want, got)
+
+			want, err = serial.QueryStmt(p.Rewritten)
+			if err != nil {
+				t.Fatalf("Q%d rewritten serial: %v", p.Number, err)
+			}
+			got, err = par.QueryStmt(p.Rewritten)
+			if err != nil {
+				t.Fatalf("Q%d rewritten n=%d: %v", p.Number, n, err)
+			}
+			sameResult(t, fmt.Sprintf("Q%d rewritten n=%d", p.Number, n), want, got)
+		}
+	}
+}
+
+// TestParallelQueryCancellation proves a mid-query cancellation under a
+// parallel plan surfaces as qerr.ErrCanceled and leaks no workers — the
+// engine-level counterpart of the exec-layer Gather cancellation test.
+func TestParallelQueryCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a TPC-H workload")
+	}
+	d := determinismWorkload(t)
+	eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: 8})
+	q := "select l.l_orderkey, l.l_extendedprice from lineitem l where l.l_quantity > 0"
+	if plan, err := eng.Explain(q); err != nil {
+		t.Fatal(err)
+	} else if !strings.Contains(plan, "Gather[n=8]") {
+		t.Fatalf("plan should be parallel:\n%s", plan)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.QueryCtx(ctx, q); !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("want qerr.ErrCanceled, got %v", err)
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i >= 100 {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
