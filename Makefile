@@ -33,6 +33,8 @@ fmt:
 	gofmt -w .
 
 # Serial-vs-parallel timings for Figures 7 and 8 as machine-readable
-# JSON (ns per op at worker counts 1/2/4, plus the host's core count).
+# JSON (ns per op at worker counts 1/2/4, plus the host's core count;
+# Figure 8 rows come in metrics=on/off pairs bounding the observability
+# overhead).
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR3.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR4.json

@@ -2,9 +2,11 @@
 // for the two figures the morsel-driven execution layer accelerates:
 // Figure 7's probability calculation (one task per cluster) and Figure
 // 8's rewritten queries (parallel scans, partitioned join builds,
-// partial aggregation).
+// partial aggregation). Figure 8 runs twice — with per-operator
+// instrumentation on (the default everywhere) and off — so the
+// observability overhead is visible as a metrics=on/off column pair.
 //
-//	go run ./cmd/benchjson -out BENCH_PR3.json
+//	go run ./cmd/benchjson -out BENCH_PR4.json
 //
 // Timings are best-of-reps wall clock, reported as ns per operation
 // alongside the host's core count — speedups are only meaningful
@@ -27,6 +29,10 @@ type entry struct {
 	Name    string `json:"name"`
 	Workers int    `json:"workers"`
 	NsPerOp int64  `json:"ns_per_op"`
+	// Metrics is "on" or "off" for rows measured with per-operator
+	// instrumentation enabled/disabled; empty where the toggle does not
+	// apply (Figure 7 runs outside the query engine).
+	Metrics string `json:"metrics,omitempty"`
 }
 
 type report struct {
@@ -37,7 +43,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output path")
+	out := flag.String("out", "BENCH_PR4.json", "output path")
 	sf := flag.Float64("sf", 1, "TPC-H scaling factor")
 	scale := flag.Float64("scale", bench.DefaultScale, "entity-count multiplier")
 	ifv := flag.Int("if", 5, "inconsistency factor")
@@ -71,21 +77,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	for _, n := range workers {
-		rows, err := bench.Fig8Par(d, *reps, n)
-		if err != nil {
-			fatal(err)
+	for _, instrument := range []bool{true, false} {
+		metrics := "on"
+		if !instrument {
+			metrics = "off"
 		}
-		var total time.Duration
-		for _, r := range rows {
-			total += r.Rewritten
+		for _, n := range workers {
+			rows, err := bench.Fig8ParInstr(d, *reps, n, instrument)
+			if err != nil {
+				fatal(err)
+			}
+			var total time.Duration
+			for _, r := range rows {
+				total += r.Rewritten
+				rep.Results = append(rep.Results, entry{
+					Name: fmt.Sprintf("fig8_rewritten/Q%d", r.Query), Workers: n,
+					NsPerOp: r.Rewritten.Nanoseconds(), Metrics: metrics,
+				})
+			}
 			rep.Results = append(rep.Results, entry{
-				Name: fmt.Sprintf("fig8_rewritten/Q%d", r.Query), Workers: n, NsPerOp: r.Rewritten.Nanoseconds(),
+				Name: "fig8_rewritten/total", Workers: n, NsPerOp: total.Nanoseconds(), Metrics: metrics,
 			})
 		}
-		rep.Results = append(rep.Results, entry{
-			Name: "fig8_rewritten/total", Workers: n, NsPerOp: total.Nanoseconds(),
-		})
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")

@@ -13,16 +13,22 @@
 //	-timeout      per-query wall-clock budget (e.g. 30s; 0 means none)
 //	-parallelism  worker count for parallel scans, joins and aggregation
 //	              (0 = one worker per CPU; 1 forces serial execution)
+//	-metrics-addr address for the debug HTTP endpoint (/debug/metrics,
+//	              expvar, pprof); empty disables it. Bind localhost only —
+//	              the endpoint is unauthenticated (DESIGN.md §10).
+//	-query-log    file receiving one JSON line per executed query
 //
 // Inside the shell:
 //
-//	select ...            run SQL directly on the dirty data
-//	clean select ...      compute clean answers via RewriteClean
-//	\rewrite select ...   print the rewritten SQL without running it
-//	\explain select ...   print the physical plan
-//	\tables               list relations
-//	\stats                duplication statistics, candidate count, uncertainty
-//	\q                    quit
+//	select ...                    run SQL directly on the dirty data
+//	clean select ...              compute clean answers via RewriteClean
+//	eval select ...               clean answers via the degradation ladder
+//	\rewrite select ...           print the rewritten SQL without running it
+//	\explain select ...           print the physical plan
+//	\explain analyze select ...   run the plan, print observed counters
+//	\tables                       list relations
+//	\stats                        duplication statistics, candidate count, uncertainty
+//	\q                            quit
 //
 // Ctrl-C cancels the in-flight query (the shell reports why it stopped —
 // canceled, deadline, budget — and stays alive); a second Ctrl-C at a
@@ -32,9 +38,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -44,6 +53,7 @@ import (
 	"conquer/internal/dirty"
 	"conquer/internal/engine"
 	"conquer/internal/exec"
+	"conquer/internal/metrics"
 	"conquer/internal/qerr"
 	"conquer/internal/rewrite"
 	"conquer/internal/sqlparse"
@@ -58,6 +68,8 @@ func main() {
 	oneShot := flag.String("c", "", "execute one statement and exit")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (0 = none)")
 	par := flag.Int("parallelism", 0, "workers for parallel execution (0 = one per CPU, 1 = serial)")
+	metricsAddr := flag.String("metrics-addr", "", "debug HTTP address for /debug/metrics, expvar and pprof (empty = off; bind localhost only)")
+	queryLogPath := flag.String("query-log", "", "file receiving one JSON line per executed query")
 	flag.Parse()
 
 	d, err := openDatabase(*dir)
@@ -65,8 +77,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "conquer:", err)
 		os.Exit(1)
 	}
+	var qlog *metrics.QueryLog
+	if *queryLogPath != "" {
+		f, err := os.OpenFile(*queryLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "conquer:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		qlog = metrics.NewQueryLog(f)
+	}
+	if *metricsAddr != "" {
+		go func() {
+			// The endpoint is unauthenticated; it is the operator's job to
+			// keep the address local (see DESIGN.md §10).
+			if err := http.ListenAndServe(*metricsAddr, metricsMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "conquer: metrics endpoint:", err)
+			}
+		}()
+	}
 	limits := exec.Limits{Timeout: *timeout}
-	eng := engine.NewWithOptions(d.Store, engine.Options{Limits: limits, Parallelism: *par})
+	eng := engine.NewWithOptions(d.Store, engine.Options{Limits: limits, Parallelism: *par, QueryLog: qlog})
 	sh := &shell{d: d, eng: eng, limits: limits, out: os.Stdout}
 
 	if *oneShot != "" {
@@ -84,7 +115,7 @@ func main() {
 	signal.Notify(sigCh, os.Interrupt)
 
 	fmt.Println("ConQuer-Go — clean answers over dirty databases (ICDE 2006 reproduction)")
-	fmt.Println(`Type SQL, "clean SELECT ...", \tables, \rewrite, \explain, or \q. Ctrl-C cancels a query.`)
+	fmt.Println(`Type SQL, "clean SELECT ...", "eval SELECT ...", \tables, \rewrite, \explain [analyze], or \q. Ctrl-C cancels a query.`)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -111,9 +142,36 @@ func main() {
 	}
 }
 
+// metricsMux serves the process-level observability surface: the
+// metrics registry at /debug/metrics, the stdlib expvar page, and the
+// pprof profile/trace handlers. It is unauthenticated by design — bind
+// it to localhost only (DESIGN.md §10).
+func metricsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/metrics", metrics.Default.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // executeInterruptible runs one statement under a context that Ctrl-C
-// cancels; the shell survives either way.
+// cancels; the shell survives either way. Any interrupt still buffered
+// from before this statement — delivered while a previous query was
+// finishing, or while idle at the prompt — is drained first so a stale
+// Ctrl-C cannot cancel a fresh query the user just asked for.
 func (sh *shell) executeInterruptible(line string, sigCh <-chan os.Signal) error {
+	for {
+		select {
+		case <-sigCh:
+			continue
+		default:
+		}
+		break
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
 	go func() {
@@ -200,12 +258,39 @@ func (sh *shell) execute(ctx context.Context, line string) error {
 		}
 		fmt.Fprintln(sh.out, rw.SQL())
 		return nil
+	case strings.HasPrefix(line, `\explain analyze `):
+		out, err := sh.eng.ExplainAnalyzeCtx(ctx, strings.TrimPrefix(line, `\explain analyze `))
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sh.out, out)
+		return nil
 	case strings.HasPrefix(line, `\explain `):
 		plan, err := sh.eng.Explain(strings.TrimPrefix(line, `\explain `))
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(sh.out, plan)
+		return nil
+	case strings.HasPrefix(strings.ToLower(line), "eval "):
+		stmt, err := sqlparse.Parse(strings.TrimSpace(line[len("eval "):]))
+		if err != nil {
+			return err
+		}
+		res, err := core.Eval(ctx, sh.d, stmt, core.EvalOptions{Limits: sh.limits})
+		if err != nil {
+			return err
+		}
+		sh.printClean(res)
+		fmt.Fprintf(sh.out, "method: %s", res.Method)
+		if len(res.Degraded) > 0 {
+			parts := make([]string, len(res.Degraded))
+			for i, d := range res.Degraded {
+				parts[i] = d.String()
+			}
+			fmt.Fprintf(sh.out, " (degraded: %s)", strings.Join(parts, " -> "))
+		}
+		fmt.Fprintln(sh.out)
 		return nil
 	case strings.HasPrefix(strings.ToLower(line), "clean "):
 		stmt, err := sqlparse.Parse(strings.TrimSpace(line[len("clean "):]))
@@ -216,14 +301,7 @@ func (sh *shell) execute(ctx context.Context, line string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(sh.out, strings.Join(res.Columns, "  ")+"  prob\n")
-		for _, a := range res.Answers {
-			for _, v := range a.Values {
-				fmt.Fprintf(sh.out, "%v  ", v)
-			}
-			fmt.Fprintf(sh.out, "%.4f\n", a.Prob)
-		}
-		fmt.Fprintf(sh.out, "(%d clean answers)\n", len(res.Answers))
+		sh.printClean(res)
 		return nil
 	default:
 		res, err := sh.eng.QueryCtx(ctx, line)
@@ -234,4 +312,22 @@ func (sh *shell) execute(ctx context.Context, line string) error {
 		fmt.Fprintf(sh.out, "(%d rows)\n", len(res.Rows))
 		return nil
 	}
+}
+
+// printClean renders clean answers with their probabilities. Estimated
+// answers (Monte Carlo) carry a per-answer standard error, shown as
+// ±err; exact answers have StdErr 0 and print without it.
+func (sh *shell) printClean(res *core.Result) {
+	fmt.Fprint(sh.out, strings.Join(res.Columns, "  ")+"  prob\n")
+	for _, a := range res.Answers {
+		for _, v := range a.Values {
+			fmt.Fprintf(sh.out, "%v  ", v)
+		}
+		if a.StdErr > 0 {
+			fmt.Fprintf(sh.out, "%.4f ±%.4f\n", a.Prob, a.StdErr)
+		} else {
+			fmt.Fprintf(sh.out, "%.4f\n", a.Prob)
+		}
+	}
+	fmt.Fprintf(sh.out, "(%d clean answers)\n", len(res.Answers))
 }

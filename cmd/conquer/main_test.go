@@ -3,8 +3,11 @@ package main
 import (
 	"context"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"syscall"
 	"testing"
@@ -157,14 +160,17 @@ func TestShellCanceledQuery(t *testing.T) {
 // cancellation without ending the session.
 func TestExecuteInterruptible(t *testing.T) {
 	sh, out := newTestShell(t)
-	// Signal already pending: the query is canceled promptly.
+	// Signal delivered mid-query: the statement is canceled promptly. The
+	// eleven-way cross product (~10^6 output rows) runs long enough for
+	// the delayed signal to land while it is still executing.
 	sigCh := make(chan os.Signal, 1)
-	sigCh <- syscall.SIGINT
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		sigCh <- syscall.SIGINT
+	}()
 	start := time.Now()
-	// A nine-way cross product (~10^5 output rows) — far more work than
-	// runs before the pending signal cancels the context.
 	err := sh.executeInterruptible(
-		"select c1.id from customer c1, customer c2, customer c3, customer c4, customer c5, customer c6, orders o1, orders o2, orders o3",
+		"select c1.id from customer c1, customer c2, customer c3, customer c4, customer c5, customer c6, customer c7, customer c8, orders o1, orders o2, orders o3",
 		sigCh)
 	if !errors.Is(err, qerr.ErrCanceled) {
 		t.Fatalf("error = %v, want errors.Is(err, qerr.ErrCanceled)", err)
@@ -172,13 +178,112 @@ func TestExecuteInterruptible(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Errorf("cancellation took %v", elapsed)
 	}
-	// No signal: the same statement runs to completion.
+	// No signal: the same statement shape runs to completion.
 	out.Reset()
 	if err := sh.executeInterruptible("select id from customer", make(chan os.Signal)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "(4 rows)") {
 		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+// A Ctrl-C left over from before a statement — pressed while the
+// previous query was finishing or while idle at the prompt — must not
+// cancel the next query. Regression test for the stale-interrupt bug:
+// before the drain in executeInterruptible, the pre-buffered signal
+// below canceled the fresh query immediately.
+func TestExecuteInterruptibleDrainsStaleSignal(t *testing.T) {
+	sh, out := newTestShell(t)
+	sigCh := make(chan os.Signal, 1)
+	sigCh <- syscall.SIGINT // stale: delivered before the statement starts
+	if err := sh.executeInterruptible("select id from customer", sigCh); err != nil {
+		t.Fatalf("stale signal canceled a fresh query: %v", err)
+	}
+	if !strings.Contains(out.String(), "(4 rows)") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+// scrubTimings replaces wall-clock durations in \explain analyze output
+// so the remainder is deterministic and comparable against a golden file.
+var scrubTime = regexp.MustCompile(`time=[^ )]+`)
+var scrubSummary = regexp.MustCompile(`rows in [^ ]+ \(`)
+
+// \explain analyze on the paper's Figure-4 query — the grouping-and-
+// summing rewriting of the running example — prints per-operator
+// observed counters. The counters are deterministic at parallelism 1,
+// so everything except wall time is checked against a golden file
+// (regenerate with CONQUER_UPDATE_GOLDEN=1).
+func TestShellExplainAnalyzeGolden(t *testing.T) {
+	d, err := openDatabase("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	sh := &shell{
+		d:   d,
+		eng: engine.NewWithOptions(d.Store, engine.Options{Parallelism: 1}),
+		out: &out,
+	}
+	const fig4 = `\explain analyze SELECT id, SUM(customer.prob) AS prob FROM customer WHERE balance > 10000 GROUP BY id`
+	if err := sh.execute(context.Background(), fig4); err != nil {
+		t.Fatal(err)
+	}
+	got := scrubSummary.ReplaceAllString(scrubTime.ReplaceAllString(out.String(), "time=?"), "rows in ? (")
+	golden := filepath.Join("testdata", "explain_analyze_fig4.golden")
+	if os.Getenv("CONQUER_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("\\explain analyze output drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// The eval command runs the degradation ladder and reports the method
+// that answered.
+func TestShellEval(t *testing.T) {
+	sh, out := newTestShell(t)
+	if err := sh.execute(context.Background(), "eval select id from customer where balance > 10000"); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "(2 clean answers)") || !strings.Contains(s, "method: exact") {
+		t.Errorf("eval output:\n%s", s)
+	}
+}
+
+// The debug mux serves the metrics registry, expvar, and pprof.
+func TestMetricsMux(t *testing.T) {
+	srv := httptest.NewServer(metricsMux())
+	defer srv.Close()
+	// profile and trace are registered but not fetched here: their
+	// handlers block for the sampling duration (30s / 1s defaults).
+	for path, want := range map[string]string{
+		"/debug/metrics":       "{",
+		"/debug/vars":          "memstats",
+		"/debug/pprof/":        "profile",
+		"/debug/pprof/cmdline": "",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body := make([]byte, 4096)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if want != "" && !strings.Contains(string(body[:n]), want) {
+			t.Errorf("GET %s: body missing %q:\n%s", path, want, body[:n])
+		}
 	}
 }
 

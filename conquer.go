@@ -36,6 +36,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"conquer/internal/core"
 	"conquer/internal/dirty"
@@ -262,6 +263,10 @@ func (db *Database) Explain(sql string) (string, error) { return db.eng.Explain(
 type CleanAnswer struct {
 	Values []any
 	Prob   float64
+	// StdErr is the standard error of Prob: 0 for exact methods; for
+	// Monte-Carlo, the Wald estimate sqrt(p(1-p)/n), never exceeding the
+	// worst-case bound CleanResult.StdErr.
+	StdErr float64
 }
 
 // CleanResult is a set of clean answers, sorted by answer tuple.
@@ -276,6 +281,13 @@ type CleanResult struct {
 	Method string
 	// Samples is the Monte-Carlo sample count (0 for exact methods).
 	Samples int
+	// Degraded lists the rungs Eval skipped or abandoned before Method
+	// answered, as "method(reason)" strings — e.g. "exact(budget)",
+	// "rewrite(not-rewritable)". Empty when the first rung succeeded or a
+	// fixed-method entry point was called.
+	Degraded []string
+	// Elapsed is the wall time the evaluation took.
+	Elapsed time.Duration
 	// StdErr bounds the standard error of each probability: 0 for exact
 	// methods, at most 1/(2*sqrt(Samples)) for Monte-Carlo.
 	StdErr float64
@@ -319,13 +331,17 @@ func convertResult(res *core.Result) *CleanResult {
 		Method:  res.Method.String(),
 		Samples: res.Samples,
 		StdErr:  res.StdErr,
+		Elapsed: res.Elapsed,
+	}
+	for _, d := range res.Degraded {
+		out.Degraded = append(out.Degraded, d.String())
 	}
 	for _, a := range res.Answers {
 		vals := make([]any, len(a.Values))
 		for i, v := range a.Values {
 			vals[i] = fromValue(v)
 		}
-		out.Answers = append(out.Answers, CleanAnswer{Values: vals, Prob: a.Prob})
+		out.Answers = append(out.Answers, CleanAnswer{Values: vals, Prob: a.Prob, StdErr: a.StdErr})
 	}
 	return out
 }

@@ -3,6 +3,8 @@ package conquer
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -102,6 +104,116 @@ func TestEvalMonteCarloReproducible(t *testing.T) {
 	for i := range a.Answers {
 		if !approx(a.Answers[i].Prob, b.Answers[i].Prob) {
 			t.Errorf("answer %d: %v vs %v", i, a.Answers[i].Prob, b.Answers[i].Prob)
+		}
+	}
+}
+
+// Under fault injection the result records the full degradation chain:
+// a budget fault fails the exact rung mid-enumeration, the query is
+// outside the rewritable class, and Monte-Carlo answers — with every
+// abandoned rung and its reason on CleanResult.Degraded.
+func TestEvalRecordsDegradationChainUnderFault(t *testing.T) {
+	db := paperDB(t)
+	// The first scan during exact enumeration fails as a budget overrun;
+	// the fault then clears itself so the surviving rungs run clean.
+	sched := faultinject.New(faultinject.Rule{
+		Op:     storage.OpScan,
+		N:      1,
+		Err:    fmt.Errorf("injected: %w", ErrBudgetExceeded),
+		OnFire: func() { db.d.Store.SetInjector(nil) },
+	})
+	db.d.Store.SetInjector(sched)
+	// "select name" violates condition 4 (identifier not projected), so
+	// the rewriting rung is skipped too.
+	res, err := db.Eval(context.Background(), "select name from customer where balance > 10000",
+		EvalOptions{Samples: 200, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "monte-carlo" {
+		t.Errorf("method = %q, want monte-carlo", res.Method)
+	}
+	want := []string{"exact(budget)", "rewrite(not-rewritable)"}
+	if len(res.Degraded) != len(want) {
+		t.Fatalf("Degraded = %v, want %v", res.Degraded, want)
+	}
+	for i := range want {
+		if res.Degraded[i] != want[i] {
+			t.Errorf("Degraded[%d] = %q, want %q", i, res.Degraded[i], want[i])
+		}
+	}
+	if res.Elapsed <= 0 {
+		t.Errorf("Elapsed = %v, want > 0", res.Elapsed)
+	}
+}
+
+// A first-rung success records no degradation.
+func TestEvalNoDegradationWhenExactAnswers(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Eval(context.Background(), "select id from customer", EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Degraded) != 0 {
+		t.Errorf("Degraded = %v, want empty", res.Degraded)
+	}
+}
+
+// Monte-Carlo attaches a per-answer Wald standard error: zero for an
+// answer observed in every sample (p-hat = 1), about
+// sqrt(p(1-p)/n) for uncertain answers, and never above the worst-case
+// bound 1/(2*sqrt(n)). Regression test: previously every answer carried
+// only the shared worst-case bound.
+func TestMonteCarloPerAnswerStdErr(t *testing.T) {
+	db := paperDB(t)
+	const n = 400
+	res, err := db.CleanAnswersMonteCarlo("select name from customer where balance > 10000", n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 1 / (2 * math.Sqrt(n))
+	if !approx(res.StdErr, bound) {
+		t.Errorf("result StdErr = %v, want worst-case bound %v", res.StdErr, bound)
+	}
+	var sawCertain, sawUncertain bool
+	for _, a := range res.Answers {
+		if a.StdErr < 0 || a.StdErr > bound+1e-12 {
+			t.Errorf("answer %v: StdErr = %v outside [0, %v]", a.Values, a.StdErr, bound)
+		}
+		want := math.Sqrt(a.Prob * (1 - a.Prob) / n)
+		if want > bound {
+			want = bound
+		}
+		if !approx(a.StdErr, want) {
+			t.Errorf("answer %v: StdErr = %v, want %v for p-hat %v", a.Values, a.StdErr, want, a.Prob)
+		}
+		switch {
+		case approx(a.Prob, 1):
+			sawCertain = true
+			// p-hat is n additions of 1/n, so it can sit a few ulps off 1;
+			// the error must be negligible, not exactly zero.
+			if a.StdErr > 1e-6 {
+				t.Errorf("certain answer %v: StdErr = %v, want ~0", a.Values, a.StdErr)
+			}
+		case a.Prob > 0 && a.Prob < 1:
+			sawUncertain = true
+			if a.StdErr <= 0 || approx(a.StdErr, bound) {
+				t.Errorf("uncertain answer %v: StdErr = %v, want in (0, bound)", a.Values, a.StdErr)
+			}
+		}
+	}
+	if !sawCertain || !sawUncertain {
+		t.Fatalf("fixture must produce both certain and uncertain answers (certain=%v uncertain=%v)",
+			sawCertain, sawUncertain)
+	}
+	// Exact evaluation carries no per-answer error at all.
+	exact, err := db.CleanAnswers("select id from customer where balance > 10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range exact.Answers {
+		if a.StdErr != 0 {
+			t.Errorf("exact answer %v: StdErr = %v, want 0", a.Values, a.StdErr)
 		}
 	}
 }

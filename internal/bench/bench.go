@@ -189,11 +189,19 @@ func Fig8(d *dirty.DB, reps int) ([]Fig8Row, error) {
 // Fig8Par is Fig8 with the engine's morsel-driven parallelism set to the
 // given worker count; 1 reproduces the serial engine exactly.
 func Fig8Par(d *dirty.DB, reps, parallelism int) ([]Fig8Row, error) {
+	return Fig8ParInstr(d, reps, parallelism, true)
+}
+
+// Fig8ParInstr is Fig8Par with per-operator instrumentation explicitly
+// on or off — the pair the bench-json harness runs to bound the
+// observability overhead (instrumentation is on by default everywhere
+// else).
+func Fig8ParInstr(d *dirty.DB, reps, parallelism int, instrument bool) ([]Fig8Row, error) {
 	pairs, err := PreparePairs()
 	if err != nil {
 		return nil, err
 	}
-	eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: parallelism})
+	eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: parallelism, NoInstrument: !instrument})
 	var out []Fig8Row
 	for _, p := range pairs {
 		row := Fig8Row{Query: p.Number}

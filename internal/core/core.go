@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"conquer/internal/dirty"
 	"conquer/internal/engine"
@@ -37,6 +38,10 @@ import (
 type Answer struct {
 	Values []value.Value
 	Prob   float64
+	// StdErr is this answer's estimated standard error: 0 for exact
+	// methods; for Monte-Carlo the Wald error sqrt(p̂(1-p̂)/n), capped by
+	// the worst-case bound Result.StdErr carries.
+	StdErr float64
 }
 
 // Method identifies which evaluator produced a Result.
@@ -75,9 +80,51 @@ type Result struct {
 	Method Method
 	// Samples is the Monte-Carlo sample count (0 for exact methods).
 	Samples int
-	// StdErr bounds the standard error of each probability: 0 for exact
-	// methods, at most 1/(2*sqrt(n)) for Monte-Carlo with n samples.
+	// StdErr is the worst-case bound on the standard error of any
+	// probability: 0 for exact methods, 1/(2*sqrt(n)) for Monte-Carlo
+	// with n samples. Each Answer.StdErr carries the (tighter) per-answer
+	// Wald error.
 	StdErr float64
+	// Degraded is the degradation chain: one entry per ladder rung Eval
+	// skipped or abandoned before Method succeeded (empty when the first
+	// viable rung answered).
+	Degraded []Degradation
+	// Elapsed is the wall time of the whole evaluation (the full ladder,
+	// for Eval).
+	Elapsed time.Duration
+	// Stats aggregates engine-level accounting over every SQL query the
+	// evaluation ran.
+	Stats EvalStats
+}
+
+// Degradation records one abandoned rung of the evaluation ladder: the
+// method that was ruled out and the one-word reason (a qerr.Reason
+// keyword such as "budget" or "candidates", or "not-rewritable").
+type Degradation struct {
+	Method Method
+	Reason string
+}
+
+// String renders the entry as "method(reason)" for logs and CLI output.
+func (d Degradation) String() string { return d.Method.String() + "(" + d.Reason + ")" }
+
+// EvalStats aggregates engine-level accounting across the SQL queries an
+// evaluation executed (DESIGN.md §10).
+type EvalStats struct {
+	// Queries is how many SQL queries ran: one per materialized candidate
+	// database for exact and Monte-Carlo, one for rewriting.
+	Queries int
+	// BufferedPeak is the largest buffered-row high-water mark any of
+	// those queries reached.
+	BufferedPeak int64
+}
+
+// note absorbs one engine result into the running totals.
+func (s *EvalStats) note(qres *engine.Result) {
+	s.Queries++
+	if qres.Stats.BufferedPeak > s.BufferedPeak {
+		s.BufferedPeak = qres.Stats.BufferedPeak
+	}
 }
 
 // Find returns the probability of the answer tuple equal to vals, or 0.
@@ -185,11 +232,13 @@ func Exact(d *dirty.DB, stmt *sqlparse.SelectStmt, limit int64) (*Result, error)
 // default); exceeding it returns a qerr.ErrTooManyCandidates error.
 func ExactCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, lim exec.Limits) (res *Result, err error) {
 	defer qerr.Recover(&err)
+	start := time.Now()
 	ctx, cancel := lim.WithContext(ctx)
 	defer cancel()
 	inner := lim.WithoutTimeout()
 	acc := newAccumulator()
 	var cols []string
+	var stats EvalStats
 	var evalErr error
 	err = d.EnumerateCandidatesCtx(ctx, lim.MaxCandidates, func(c *dirty.Candidate) bool {
 		world, err := d.MaterializeCtx(ctx, c)
@@ -202,6 +251,7 @@ func ExactCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, lim e
 			evalErr = err
 			return false
 		}
+		stats.note(qres)
 		cols = qres.Columns
 		for _, row := range distinctRows(qres.Rows) {
 			acc.add(row, c.Prob)
@@ -216,12 +266,15 @@ func ExactCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, lim e
 	}
 	out := acc.result(cols)
 	out.Method = MethodExact
+	out.Stats = stats
+	out.Elapsed = time.Since(start)
 	return out, nil
 }
 
 // MonteCarlo estimates clean answers from n independently sampled
 // candidate databases. The estimate of each answer's probability is its
-// sample frequency; the standard error is at most 1/(2*sqrt(n)).
+// sample frequency; each answer carries its Wald standard error and the
+// Result carries the worst-case bound 1/(2*sqrt(n)).
 func MonteCarlo(d *dirty.DB, stmt *sqlparse.SelectStmt, n int, seed int64) (*Result, error) {
 	return MonteCarloCtx(context.Background(), d, stmt, n, seed, exec.Limits{})
 }
@@ -232,6 +285,7 @@ func MonteCarlo(d *dirty.DB, stmt *sqlparse.SelectStmt, n int, seed int64) (*Res
 // sample count rather than silently degrading accuracy.
 func MonteCarloCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, n int, seed int64, lim exec.Limits) (res *Result, err error) {
 	defer qerr.Recover(&err)
+	start := time.Now()
 	if n <= 0 {
 		return nil, fmt.Errorf("core: MonteCarlo needs a positive sample count")
 	}
@@ -245,6 +299,7 @@ func MonteCarloCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, 
 	rng := rand.New(rand.NewSource(seed))
 	acc := newAccumulator()
 	var cols []string
+	var stats EvalStats
 	w := 1 / float64(n)
 	for i := 0; i < n; i++ {
 		if err := qerr.FromContext(ctx); err != nil {
@@ -262,6 +317,7 @@ func MonteCarloCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, 
 		if err != nil {
 			return nil, err
 		}
+		stats.note(qres)
 		cols = qres.Columns
 		for _, row := range distinctRows(qres.Rows) {
 			acc.add(row, w)
@@ -270,7 +326,26 @@ func MonteCarloCtx(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, 
 	out := acc.result(cols)
 	out.Method = MethodMonteCarlo
 	out.Samples = n
-	out.StdErr = 1 / (2 * math.Sqrt(float64(n)))
+	// The worst-case bound on any answer's standard error (p̂ = 1/2
+	// maximizes the Wald variance); per-answer errors below are tighter.
+	bound := 1 / (2 * math.Sqrt(float64(n)))
+	out.StdErr = bound
+	for i := range out.Answers {
+		p := out.Answers[i].Prob
+		v := p * (1 - p) / float64(n)
+		if v < 0 {
+			// n additions of 1/n can overshoot 1 by a few ulps, driving the
+			// variance epsilon-negative; clamp before the square root.
+			v = 0
+		}
+		se := math.Sqrt(v)
+		if se > bound {
+			se = bound
+		}
+		out.Answers[i].StdErr = se
+	}
+	out.Stats = stats
+	out.Elapsed = time.Since(start)
 	return out, nil
 }
 
@@ -299,6 +374,7 @@ func RunRewritten(d *dirty.DB, rw *sqlparse.SelectStmt) (*Result, error) {
 }
 
 func runRewrittenCtx(ctx context.Context, d *dirty.DB, rw *sqlparse.SelectStmt, lim exec.Limits) (*Result, error) {
+	start := time.Now()
 	res, err := engine.NewWithLimits(d.Store, lim).QueryStmtCtx(ctx, rw)
 	if err != nil {
 		return nil, err
@@ -317,6 +393,8 @@ func runRewrittenCtx(ctx context.Context, d *dirty.DB, rw *sqlparse.SelectStmt, 
 	}
 	out.sortAnswers()
 	out.Method = MethodRewrite
+	out.Stats.note(res)
+	out.Elapsed = time.Since(start)
 	return out, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"time"
 
 	"conquer/internal/dirty"
 	"conquer/internal/exec"
@@ -56,8 +57,11 @@ const exactThreshold = 1 << 12
 //
 // A rung failing with a resource error (qerr.IsResource) falls through to
 // the next; cancellation, deadline and model errors abort immediately.
+// Result.Degraded records every rung that was skipped or abandoned along
+// the way, with its one-word reason.
 func Eval(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, opts EvalOptions) (res *Result, err error) {
 	defer qerr.Recover(&err)
+	start := time.Now()
 	lim := opts.Limits
 	ctx, cancel := lim.WithContext(ctx)
 	defer cancel()
@@ -65,6 +69,13 @@ func Eval(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, opts Eval
 
 	if opts.ForceExact {
 		return ExactCtx(ctx, d, stmt, inner)
+	}
+
+	var chain []Degradation
+	done := func(res *Result) *Result {
+		res.Degraded = chain
+		res.Elapsed = time.Since(start)
+		return res
 	}
 
 	// Rung 1: Exact, when the candidate count is known to fit.
@@ -79,12 +90,15 @@ func Eval(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, opts Eval
 	if count.Cmp(big.NewInt(budget)) <= 0 {
 		res, err := ExactCtx(ctx, d, stmt, inner)
 		if err == nil {
-			return res, nil
+			return done(res), nil
 		}
 		if !qerr.IsResource(err) {
 			return nil, err
 		}
 		// Budget ran out mid-enumeration; fall through.
+		chain = append(chain, Degradation{Method: MethodExact, Reason: qerr.Reason(err)})
+	} else {
+		chain = append(chain, Degradation{Method: MethodExact, Reason: "candidates"})
 	}
 
 	// Rung 2: rewriting, when the query is in the rewritable class.
@@ -95,11 +109,14 @@ func Eval(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, opts Eval
 	if a.Rewritable {
 		res, err := ViaRewritingCtx(ctx, d, stmt, inner)
 		if err == nil {
-			return res, nil
+			return done(res), nil
 		}
 		if !qerr.IsResource(err) {
 			return nil, err
 		}
+		chain = append(chain, Degradation{Method: MethodRewrite, Reason: qerr.Reason(err)})
+	} else {
+		chain = append(chain, Degradation{Method: MethodRewrite, Reason: "not-rewritable"})
 	}
 
 	// Rung 3: Monte-Carlo.
@@ -114,5 +131,5 @@ func Eval(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, opts Eval
 	if err != nil {
 		return nil, fmt.Errorf("core: all evaluation methods failed, last (monte-carlo): %w", err)
 	}
-	return res, nil
+	return done(res), nil
 }

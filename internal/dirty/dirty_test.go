@@ -322,6 +322,81 @@ func TestSampleDistribution(t *testing.T) {
 	}
 }
 
+// When a cluster's probabilities sum to less than 1 (Sample does not
+// Validate first), a draw landing beyond the sum must fall back to the
+// last tuple — and multiply in that tuple's own probability, not a
+// stale one from an earlier iteration.
+func TestSampleRoundingFallback(t *testing.T) {
+	store := storage.NewDB()
+	s := schema.MustRelation("t",
+		schema.Column{Name: "id", Type: value.KindString},
+		schema.Column{Name: "a", Type: value.KindInt},
+		schema.Column{Name: "prob", Type: value.KindFloat},
+	)
+	if err := s.SetDirty("id", "prob"); err != nil {
+		t.Fatal(err)
+	}
+	tb := store.MustCreateTable(s)
+	// One cluster, probabilities summing to 0.5.
+	tb.MustInsert(value.Str("k"), value.Int(1), value.Float(0.3))
+	tb.MustInsert(value.Str("k"), value.Int(2), value.Float(0.2))
+	d := New(store)
+	// Seed 1's first Float64 is ~0.6047, beyond the 0.5 total: no row's
+	// cumulative range contains the draw, so the fallback must fire.
+	c, err := d.Sample(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Chosen["t"][0]; got != 1 {
+		t.Errorf("fallback chose row %d, want last row 1", got)
+	}
+	if math.Abs(c.Prob-0.2) > 1e-12 {
+		t.Errorf("fallback Prob = %v, want the last row's own 0.2", c.Prob)
+	}
+}
+
+// Candidate.Prob is Dfn 4's product of the chosen tuples' probabilities —
+// checked against an independent recomputation from Chosen for both
+// enumerated and sampled candidates.
+func TestCandidateProbIsProductOfChosen(t *testing.T) {
+	d := figure2DB(t, true)
+	recompute := func(c *Candidate) float64 {
+		prod := 1.0
+		for rel, chosen := range c.Chosen {
+			tb, _ := d.Store.Table(rel)
+			pi := tb.Schema.ProbIndex()
+			for _, rowIdx := range chosen {
+				prod *= tb.Row(rowIdx)[pi].AsFloat()
+			}
+		}
+		return prod
+	}
+	seen := 0
+	err := d.EnumerateCandidates(0, func(c *Candidate) bool {
+		seen++
+		if want := recompute(c); math.Abs(c.Prob-want) > 1e-12 {
+			t.Errorf("enumerated candidate %v: Prob = %v, want %v", c.Chosen, c.Prob, want)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 8 {
+		t.Fatalf("enumerated %d candidates, want 8", seen)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		c, err := d.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := recompute(c); math.Abs(c.Prob-want) > 1e-12 {
+			t.Fatalf("sampled candidate %v: Prob = %v, want %v", c.Chosen, c.Prob, want)
+		}
+	}
+}
+
 func TestPropagate(t *testing.T) {
 	d := figure2DB(t, false) // cidfk holds original keys m1..m3
 	changed, err := d.Propagate("orders", "cidfk", "customer", "custid")

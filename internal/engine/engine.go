@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"time"
 
 	"conquer/internal/exec"
+	"conquer/internal/metrics"
 	"conquer/internal/plan"
 	"conquer/internal/qerr"
 	"conquer/internal/sqlparse"
@@ -31,6 +33,14 @@ type Options struct {
 	// execution; 0 defaults to runtime.GOMAXPROCS(0), 1 forces serial
 	// execution.
 	Parallelism int
+	// NoInstrument disables per-operator instrumentation. Instrumentation
+	// is on by default — the counters are plain atomic adds and the bench
+	// suite guards the overhead — but benchmarks comparing instrumented
+	// vs. bare execution switch it off here.
+	NoInstrument bool
+	// QueryLog, when non-nil, receives one structured JSON record per
+	// executed query (success or failure).
+	QueryLog *metrics.QueryLog
 }
 
 // Engine executes SQL over one database.
@@ -79,6 +89,24 @@ func (e *Engine) DB() *storage.DB { return e.db }
 type Result struct {
 	Columns []string
 	Rows    [][]value.Value
+	// Stats describes how the query executed (filled on success).
+	Stats Stats
+}
+
+// Stats is the per-query execution accounting attached to every Result
+// (DESIGN.md §10).
+type Stats struct {
+	// Parallelism is the worker count the planner targeted.
+	Parallelism int
+	// PlanTime is the wall time spent planning the statement.
+	PlanTime time.Duration
+	// ExecTime is the wall time spent executing the plan.
+	ExecTime time.Duration
+	// BufferedPeak is the governor's buffered-row high-water mark: the
+	// most rows held concurrently in stateful operator memory.
+	BufferedPeak int64
+	// Rows is the number of result rows.
+	Rows int
 }
 
 // Query parses, plans and executes sql without cancellation.
@@ -109,19 +137,61 @@ func (e *Engine) QueryStmt(stmt *sqlparse.SelectStmt) (*Result, error) {
 // the stack captured.
 func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (res *Result, err error) {
 	defer qerr.Recover(&err)
+	popts := e.planOptions()
+	start := time.Now()
+	defer func() { e.report(stmt, popts.Parallelism, res, err, time.Since(start)) }()
 	ctx, cancel := e.opts.Limits.WithContext(ctx)
 	defer cancel()
-	op, err := plan.Plan(e.db, stmt, e.planOptions())
+	op, err := plan.Plan(e.db, stmt, popts)
 	if err != nil {
 		return nil, err
 	}
+	planTime := time.Since(start)
+	if !e.opts.NoInstrument {
+		exec.Instrument(op)
+	}
 	gov := exec.NewGovernor(ctx, e.opts.Limits)
 	exec.Attach(op, gov)
+	execStart := time.Now()
 	rows, err := exec.CollectGoverned(op, gov)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: op.Schema().Names(), Rows: rows}, nil
+	return &Result{
+		Columns: op.Schema().Names(),
+		Rows:    rows,
+		Stats: Stats{
+			Parallelism:  popts.Parallelism,
+			PlanTime:     planTime,
+			ExecTime:     time.Since(execStart),
+			BufferedPeak: gov.BufferedPeak(),
+			Rows:         len(rows),
+		},
+	}, nil
+}
+
+// report feeds the process-level metrics registry and, when configured,
+// the structured query log. It runs for every query, success or failure.
+func (e *Engine) report(stmt *sqlparse.SelectStmt, par int, res *Result, err error, elapsed time.Duration) {
+	reg := metrics.Default
+	reg.Counter("engine.queries").Inc()
+	reg.Timer("engine.exec").Observe(elapsed)
+	rows := 0
+	if err != nil {
+		reg.Counter("engine.errors").Inc()
+	} else if res != nil {
+		rows = res.Stats.Rows
+		reg.Counter("engine.rows").Add(int64(rows))
+		reg.Gauge("engine.buffered_peak").SetMax(res.Stats.BufferedPeak)
+	}
+	e.opts.QueryLog.Record(metrics.QueryRecord{
+		SQLHash:     metrics.HashQuery(stmt.SQL()),
+		Method:      "sql",
+		Rows:        rows,
+		Micros:      elapsed.Microseconds(),
+		Parallelism: par,
+		Err:         qerr.LogReason(err),
+	})
 }
 
 // Explain returns the physical plan for sql, one operator per line.
@@ -135,6 +205,39 @@ func (e *Engine) Explain(sql string) (string, error) {
 		return "", err
 	}
 	return exec.Explain(op), nil
+}
+
+// ExplainAnalyze executes sql under the engine's limits and returns the
+// plan annotated with observed per-operator counters plus a summary
+// line.
+func (e *Engine) ExplainAnalyze(sql string) (string, error) {
+	return e.ExplainAnalyzeCtx(context.Background(), sql)
+}
+
+// ExplainAnalyzeCtx is ExplainAnalyze under a caller context.
+func (e *Engine) ExplainAnalyzeCtx(ctx context.Context, sql string) (out string, err error) {
+	defer qerr.Recover(&err)
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	ctx, cancel := e.opts.Limits.WithContext(ctx)
+	defer cancel()
+	op, err := plan.Plan(e.db, stmt, e.planOptions())
+	if err != nil {
+		return "", err
+	}
+	exec.Instrument(op)
+	gov := exec.NewGovernor(ctx, e.opts.Limits)
+	exec.Attach(op, gov)
+	start := time.Now()
+	rows, err := exec.CollectGoverned(op, gov)
+	if err != nil {
+		return "", err
+	}
+	summary := fmt.Sprintf("-- %d rows in %s (buffered peak %d)\n",
+		len(rows), time.Since(start).Round(time.Microsecond), gov.BufferedPeak())
+	return exec.ExplainAnalyze(op) + summary, nil
 }
 
 // ColumnIndex returns the position of the named result column, or -1.

@@ -69,6 +69,7 @@ type Governor struct {
 type govShared struct {
 	buffered atomic.Int64
 	output   atomic.Int64
+	peak     atomic.Int64 // buffered high-water mark across the whole query
 }
 
 // NewGovernor creates a governor enforcing limits under ctx. Timeout is
@@ -116,6 +117,12 @@ func (g *Governor) ReserveBuffered(n int64) error {
 		return nil
 	}
 	buffered := g.shared.buffered.Add(n)
+	for {
+		peak := g.shared.peak.Load()
+		if buffered <= peak || g.shared.peak.CompareAndSwap(peak, buffered) {
+			break
+		}
+	}
 	if g.limits.MaxBufferedRows > 0 && buffered > g.limits.MaxBufferedRows {
 		return fmt.Errorf("exec: %d buffered rows exceed budget %d: %w",
 			buffered, g.limits.MaxBufferedRows, qerr.ErrBudgetExceeded)
@@ -140,6 +147,15 @@ func (g *Governor) Buffered() int64 {
 		return 0
 	}
 	return g.shared.buffered.Load()
+}
+
+// BufferedPeak returns the query's buffered-row high-water mark — the
+// largest concurrent reservation observed across all forks.
+func (g *Governor) BufferedPeak() int64 {
+	if g == nil || g.shared == nil {
+		return 0
+	}
+	return g.shared.peak.Load()
 }
 
 // CountOutput charges one result row against the output budget.
@@ -169,9 +185,11 @@ type govHolder struct {
 func (h *govHolder) setGovernor(g *Governor) { h.gov = g }
 
 // drainBuffered materializes op's rows while polling g and charging each
-// row against the buffered budget. It always returns how many rows were
-// reserved (even on error) so the caller can release them on Close.
-func drainBuffered(op Operator, g *Governor) (rows [][]value.Value, reserved int64, err error) {
+// row against the buffered budget; s (the draining operator's stats,
+// nil-safe) counts the rows pulled and buffered. It always returns how
+// many rows were reserved (even on error) so the caller can release them
+// on Close.
+func drainBuffered(op Operator, g *Governor, s *OpStats) (rows [][]value.Value, reserved int64, err error) {
 	if err := op.Open(); err != nil {
 		return nil, 0, err
 	}
@@ -187,6 +205,8 @@ func drainBuffered(op Operator, g *Governor) (rows [][]value.Value, reserved int
 		if row == nil {
 			return rows, reserved, nil
 		}
+		s.addIn(1)
+		s.addBuffered(1)
 		if err := g.ReserveBuffered(1); err != nil {
 			return nil, reserved + 1, err
 		}

@@ -18,6 +18,7 @@ type Scan struct {
 	Alias string
 
 	govHolder
+	statsHolder
 	schema RowSchema
 	pos    int
 }
@@ -34,7 +35,12 @@ func NewScan(tb *storage.Table, alias string) *Scan {
 func (s *Scan) Schema() RowSchema { return s.schema }
 
 // Open resets the cursor.
-func (s *Scan) Open() error { s.pos = 0; return nil }
+func (s *Scan) Open() error {
+	s.stats.markOpen()
+	s.stats.incBatch() // a serial scan is one batch: the whole table
+	s.pos = 0
+	return nil
+}
 
 // Next returns the next stored row.
 func (s *Scan) Next() ([]value.Value, error) {
@@ -49,10 +55,11 @@ func (s *Scan) Next() ([]value.Value, error) {
 	}
 	row := s.Table.Row(s.pos)
 	s.pos++
+	s.stats.incOut()
 	return row, nil
 }
 
-func (s *Scan) Close() error { return nil }
+func (s *Scan) Close() error { s.stats.markDone(); return nil }
 
 // Describe implements Operator.
 func (s *Scan) Describe() string {
@@ -65,6 +72,7 @@ type Filter struct {
 	Pred  sqlparse.Expr
 
 	govHolder
+	statsHolder
 	test func([]value.Value) (bool, error)
 }
 
@@ -78,8 +86,8 @@ func NewFilter(child Operator, pred sqlparse.Expr) (*Filter, error) {
 }
 
 func (f *Filter) Schema() RowSchema { return f.Child.Schema() }
-func (f *Filter) Open() error       { return f.Child.Open() }
-func (f *Filter) Close() error      { return f.Child.Close() }
+func (f *Filter) Open() error       { f.stats.markOpen(); return f.Child.Open() }
+func (f *Filter) Close() error      { f.stats.markDone(); return f.Child.Close() }
 
 // Next returns the next child row passing the predicate.
 func (f *Filter) Next() ([]value.Value, error) {
@@ -91,11 +99,13 @@ func (f *Filter) Next() ([]value.Value, error) {
 		if err != nil || row == nil {
 			return row, err
 		}
+		f.stats.addIn(1)
 		ok, err := f.test(row)
 		if err != nil {
 			return nil, err
 		}
 		if ok {
+			f.stats.incOut()
 			return row, nil
 		}
 	}
@@ -108,6 +118,7 @@ func (f *Filter) Describe() string { return "Filter(" + f.Pred.SQL() + ")" }
 type Project struct {
 	Child Operator
 
+	statsHolder
 	schema RowSchema
 	evals  []Evaluator
 }
@@ -134,8 +145,8 @@ func NewProject(child Operator, cols []ProjectionCol) (*Project, error) {
 }
 
 func (p *Project) Schema() RowSchema { return p.schema }
-func (p *Project) Open() error       { return p.Child.Open() }
-func (p *Project) Close() error      { return p.Child.Close() }
+func (p *Project) Open() error       { p.stats.markOpen(); return p.Child.Open() }
+func (p *Project) Close() error      { p.stats.markDone(); return p.Child.Close() }
 
 // Next computes the projection of the next child row.
 func (p *Project) Next() ([]value.Value, error) {
@@ -143,6 +154,7 @@ func (p *Project) Next() ([]value.Value, error) {
 	if err != nil || row == nil {
 		return nil, err
 	}
+	p.stats.addIn(1)
 	out := make([]value.Value, len(p.evals))
 	for i, ev := range p.evals { //lint:allow ctxpoll -- bounded by the projection width, not data size
 		v, err := ev(row)
@@ -151,6 +163,7 @@ func (p *Project) Next() ([]value.Value, error) {
 		}
 		out[i] = v
 	}
+	p.stats.incOut()
 	return out, nil
 }
 
@@ -179,6 +192,7 @@ type HashJoin struct {
 	MorselSize  int
 
 	govHolder
+	statsHolder
 	schema  RowSchema
 	lk, rk  []Evaluator
 	build   *joinBuild
@@ -224,11 +238,12 @@ func (j *HashJoin) Schema() RowSchema { return j.schema }
 // Open builds (or, for a probe shard, waits for) the hash table over the
 // right input.
 func (j *HashJoin) Open() error {
+	j.stats.markOpen()
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
 	if !j.shard {
-		j.build = newJoinBuild(j.Right, j.rk, j.Parallelism, 1, j.MorselSize)
+		j.build = newJoinBuild(j.Right, j.rk, j.Parallelism, 1, j.MorselSize, j.stats)
 	} else if j.build == nil {
 		return fmt.Errorf("exec: probe shard reopened after close: %w", qerr.ErrInternal)
 	}
@@ -277,6 +292,7 @@ func (j *HashJoin) Next() ([]value.Value, error) {
 			out := make([]value.Value, 0, len(j.schema))
 			out = append(out, j.curLeft...)
 			out = append(out, e.row...)
+			j.stats.incOut()
 			return out, nil
 		}
 		left, err := j.Left.Next()
@@ -286,6 +302,7 @@ func (j *HashJoin) Next() ([]value.Value, error) {
 		if left == nil {
 			return nil, nil
 		}
+		j.stats.addIn(1)
 		keys, null, err := evalKeysInto(j.lk, left, j.keyBuf)
 		if err != nil {
 			return nil, err
@@ -309,6 +326,7 @@ func keysEqual(a, b []value.Value) bool {
 }
 
 func (j *HashJoin) Close() error {
+	j.stats.markDone()
 	if j.build != nil {
 		j.build.close(j.gov)
 		j.build = nil
@@ -341,6 +359,7 @@ type IndexJoin struct {
 	InnerCol   string
 
 	govHolder
+	statsHolder
 	schema RowSchema
 	ok     Evaluator
 	index  *storage.HashIndex
@@ -376,6 +395,7 @@ func (j *IndexJoin) Schema() RowSchema { return j.schema }
 
 // Open opens the outer input.
 func (j *IndexJoin) Open() error {
+	j.stats.markOpen()
 	j.cur, j.curOut, j.curIdx = nil, nil, 0
 	return j.Outer.Open()
 }
@@ -392,6 +412,7 @@ func (j *IndexJoin) Next() ([]value.Value, error) {
 			out := make([]value.Value, 0, len(j.schema))
 			out = append(out, j.curOut...)
 			out = append(out, inner...)
+			j.stats.incOut()
 			return out, nil
 		}
 		outer, err := j.Outer.Next()
@@ -401,6 +422,7 @@ func (j *IndexJoin) Next() ([]value.Value, error) {
 		if outer == nil {
 			return nil, nil
 		}
+		j.stats.addIn(1)
 		k, err := j.ok(outer)
 		if err != nil {
 			return nil, err
@@ -409,7 +431,7 @@ func (j *IndexJoin) Next() ([]value.Value, error) {
 	}
 }
 
-func (j *IndexJoin) Close() error { return j.Outer.Close() }
+func (j *IndexJoin) Close() error { j.stats.markDone(); return j.Outer.Close() }
 
 // Describe implements Operator.
 func (j *IndexJoin) Describe() string {
@@ -422,6 +444,7 @@ type CrossJoin struct {
 	Left, Right Operator
 
 	govHolder
+	statsHolder
 	schema    RowSchema
 	rightRows [][]value.Value
 	reserved  int64
@@ -438,10 +461,11 @@ func (j *CrossJoin) Schema() RowSchema { return j.schema }
 
 // Open materializes the right input.
 func (j *CrossJoin) Open() error {
+	j.stats.markOpen()
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
-	rows, reserved, err := drainBuffered(j.Right, j.gov)
+	rows, reserved, err := drainBuffered(j.Right, j.gov, j.stats)
 	j.reserved = reserved
 	if err != nil {
 		return err
@@ -462,6 +486,7 @@ func (j *CrossJoin) Next() ([]value.Value, error) {
 			out = append(out, j.curLeft...)
 			out = append(out, j.rightRows[j.curIdx]...)
 			j.curIdx++
+			j.stats.incOut()
 			return out, nil
 		}
 		left, err := j.Left.Next()
@@ -471,11 +496,13 @@ func (j *CrossJoin) Next() ([]value.Value, error) {
 		if left == nil {
 			return nil, nil
 		}
+		j.stats.addIn(1)
 		j.curLeft, j.curIdx = left, 0
 	}
 }
 
 func (j *CrossJoin) Close() error {
+	j.stats.markDone()
 	j.rightRows = nil
 	j.gov.ReleaseBuffered(j.reserved)
 	j.reserved = 0
@@ -537,6 +564,7 @@ type HashAggregate struct {
 	MorselSize  int
 
 	govHolder
+	statsHolder
 	schema   RowSchema
 	groupEvs []Evaluator
 	argEvs   []Evaluator // nil for COUNT(*)
@@ -646,6 +674,7 @@ func (a *HashAggregate) accumulate(acc *aggAcc, row []value.Value, gov *Governor
 	}
 	if st == nil {
 		acc.reserved++ // a failed reservation still charges (drainBuffered convention)
+		a.stats.addBuffered(1)
 		if err := gov.ReserveBuffered(1); err != nil {
 			return err
 		}
@@ -748,6 +777,7 @@ func (a *HashAggregate) emit(order []*aggState) error {
 // Open drains the child and builds all groups, with parallel partial
 // aggregation when Parallelism > 1 and the child pipeline splits.
 func (a *HashAggregate) Open() error {
+	a.stats.markOpen()
 	if a.Parallelism > 1 {
 		if parts, leaves, ok := splitPipeline(a.Child, a.Parallelism, a.MorselSize); ok {
 			return a.openParallel(parts, leaves)
@@ -772,6 +802,7 @@ func (a *HashAggregate) Open() error {
 		if row == nil {
 			break
 		}
+		a.stats.addIn(1)
 		if err := a.accumulate(acc, row, a.gov, ord); err != nil {
 			a.reserved = acc.reserved
 			return err
@@ -820,10 +851,12 @@ func (a *HashAggregate) Next() ([]value.Value, error) {
 	}
 	row := a.out[a.pos]
 	a.pos++
+	a.stats.incOut()
 	return row, nil
 }
 
 func (a *HashAggregate) Close() error {
+	a.stats.markDone()
 	a.out = nil
 	a.gov.ReleaseBuffered(a.reserved)
 	a.reserved = 0
@@ -863,6 +896,7 @@ type Sort struct {
 	Keys  []SortKey
 
 	govHolder
+	statsHolder
 	evs      []Evaluator
 	rows     [][]value.Value
 	reserved int64
@@ -897,7 +931,8 @@ func (s *Sort) Schema() RowSchema { return s.Child.Schema() }
 
 // Open drains and sorts the child.
 func (s *Sort) Open() error {
-	rows, reserved, err := drainBuffered(s.Child, s.gov)
+	s.stats.markOpen()
+	rows, reserved, err := drainBuffered(s.Child, s.gov, s.stats)
 	s.reserved = reserved
 	if err != nil {
 		return err
@@ -955,10 +990,12 @@ func (s *Sort) Next() ([]value.Value, error) {
 	}
 	row := s.rows[s.pos]
 	s.pos++
+	s.stats.incOut()
 	return row, nil
 }
 
 func (s *Sort) Close() error {
+	s.stats.markDone()
 	s.rows = nil
 	s.gov.ReleaseBuffered(s.reserved)
 	s.reserved = 0
@@ -986,6 +1023,7 @@ type Distinct struct {
 	Child Operator
 
 	govHolder
+	statsHolder
 	seen     map[uint64][][]value.Value
 	reserved int64
 }
@@ -997,6 +1035,7 @@ func (d *Distinct) Schema() RowSchema { return d.Child.Schema() }
 
 // Open resets the duplicate table.
 func (d *Distinct) Open() error {
+	d.stats.markOpen()
 	d.seen = make(map[uint64][][]value.Value)
 	return d.Child.Open()
 }
@@ -1011,6 +1050,7 @@ func (d *Distinct) Next() ([]value.Value, error) {
 		if err != nil || row == nil {
 			return row, err
 		}
+		d.stats.addIn(1)
 		h := value.HashRow(row)
 		dup := false
 		for _, prev := range d.seen[h] {
@@ -1022,16 +1062,19 @@ func (d *Distinct) Next() ([]value.Value, error) {
 		if dup {
 			continue
 		}
+		d.stats.addBuffered(1)
 		if err := d.gov.ReserveBuffered(1); err != nil {
 			return nil, err
 		}
 		d.reserved++
 		d.seen[h] = append(d.seen[h], row)
+		d.stats.incOut()
 		return row, nil
 	}
 }
 
 func (d *Distinct) Close() error {
+	d.stats.markDone()
 	d.seen = nil
 	d.gov.ReleaseBuffered(d.reserved)
 	d.reserved = 0
@@ -1046,6 +1089,7 @@ type Limit struct {
 	Child Operator
 	N     int
 
+	statsHolder
 	emitted int
 }
 
@@ -1055,7 +1099,7 @@ func NewLimit(child Operator, n int) *Limit { return &Limit{Child: child, N: n} 
 func (l *Limit) Schema() RowSchema { return l.Child.Schema() }
 
 // Open resets the counter.
-func (l *Limit) Open() error { l.emitted = 0; return l.Child.Open() }
+func (l *Limit) Open() error { l.stats.markOpen(); l.emitted = 0; return l.Child.Open() }
 
 // Next stops after N rows.
 func (l *Limit) Next() ([]value.Value, error) {
@@ -1066,11 +1110,13 @@ func (l *Limit) Next() ([]value.Value, error) {
 	if err != nil || row == nil {
 		return row, err
 	}
+	l.stats.addIn(1)
 	l.emitted++
+	l.stats.incOut()
 	return row, nil
 }
 
-func (l *Limit) Close() error { return l.Child.Close() }
+func (l *Limit) Close() error { l.stats.markDone(); return l.Child.Close() }
 
 // Describe implements Operator.
 func (l *Limit) Describe() string { return fmt.Sprintf("Limit(%d)", l.N) }

@@ -82,9 +82,11 @@ func (c *morselCursor) morsels() int {
 // leafTracker is implemented by the leaf of a partial pipeline; it
 // reports which morsel produced the row most recently returned by the
 // pipeline, letting consumers restore global order and derive stable
-// per-row ordinals.
+// per-row ordinals, and how many morsels this leaf has claimed in total
+// (the per-worker share EXPLAIN ANALYZE reports).
 type leafTracker interface {
 	currentMorsel() int
+	claimedMorsels() int
 }
 
 // MorselScan is the leaf of a partial pipeline: a Scan over whichever
@@ -94,9 +96,11 @@ type MorselScan struct {
 	Alias string
 
 	govHolder
+	statsHolder
 	schema RowSchema
 	cursor *morselCursor
 	morsel int
+	claims int
 	pos    int
 	end    int
 }
@@ -105,7 +109,11 @@ func (s *MorselScan) Schema() RowSchema { return s.schema }
 
 // Open resets the worker-local range (the shared cursor is reset by
 // re-splitting, not here — resetting per part would race).
-func (s *MorselScan) Open() error { s.pos, s.end, s.morsel = 0, 0, -1; return nil }
+func (s *MorselScan) Open() error {
+	s.stats.markOpen()
+	s.pos, s.end, s.morsel, s.claims = 0, 0, -1, 0
+	return nil
+}
 
 // Next returns the next row of the current morsel, claiming a new morsel
 // when it runs dry.
@@ -120,19 +128,23 @@ func (s *MorselScan) Next() ([]value.Value, error) {
 			}
 			row := s.Table.Row(s.pos)
 			s.pos++
+			s.stats.incOut()
 			return row, nil
 		}
 		m, lo, hi, ok := s.cursor.claim()
 		if !ok {
 			return nil, nil
 		}
+		s.claims++
+		s.stats.incBatch()
 		s.morsel, s.pos, s.end = m, lo, hi
 	}
 }
 
-func (s *MorselScan) Close() error { return nil }
+func (s *MorselScan) Close() error { s.stats.markDone(); return nil }
 
-func (s *MorselScan) currentMorsel() int { return s.morsel }
+func (s *MorselScan) currentMorsel() int  { return s.morsel }
+func (s *MorselScan) claimedMorsels() int { return s.claims }
 
 // Describe implements Operator.
 func (s *MorselScan) Describe() string {
@@ -160,9 +172,11 @@ func CanSplit(op Operator) bool {
 // splitPipeline clones op into at most n independent partial pipelines
 // over a fresh shared morsel cursor. Compiled evaluators are shared —
 // they are pure functions of the row — while all iteration state is
-// per-part. The returned leaves report morsel provenance for each part.
-// Fewer than n parts come back when the base table has fewer morsels
-// than workers.
+// per-part. Each clone also shares its template's OpStats pointer, so
+// the counters of all workers aggregate onto the template tree that
+// EXPLAIN ANALYZE renders. The returned leaves report morsel provenance
+// for each part. Fewer than n parts come back when the base table has
+// fewer morsels than workers.
 func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, bool) {
 	switch op := op.(type) {
 	case *Scan:
@@ -174,6 +188,7 @@ func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, b
 		leaves := make([]leafTracker, n)
 		for i := range parts {
 			ms := &MorselScan{Table: op.Table, Alias: op.Alias, schema: op.schema, cursor: cur}
+			ms.stats = op.stats
 			parts[i], leaves[i] = ms, ms
 		}
 		return parts, leaves, true
@@ -185,7 +200,9 @@ func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, b
 		}
 		parts := make([]Operator, len(children))
 		for i, c := range children {
-			parts[i] = &Filter{Child: c, Pred: op.Pred, test: op.test}
+			f := &Filter{Child: c, Pred: op.Pred, test: op.test}
+			f.stats = op.stats
+			parts[i] = f
 		}
 		return parts, leaves, true
 
@@ -196,7 +213,9 @@ func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, b
 		}
 		parts := make([]Operator, len(children))
 		for i, c := range children {
-			parts[i] = &Project{Child: c, schema: op.schema, evals: op.evals}
+			p := &Project{Child: c, schema: op.schema, evals: op.evals}
+			p.stats = op.stats
+			parts[i] = p
 		}
 		return parts, leaves, true
 
@@ -205,19 +224,21 @@ func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, b
 		if !ok {
 			return nil, nil, false
 		}
-		build := newJoinBuild(op.Right, op.rk, op.Parallelism, len(children), morselSize)
+		build := newJoinBuild(op.Right, op.rk, op.Parallelism, len(children), morselSize, op.stats)
 		parts := make([]Operator, len(children))
 		for i, c := range children {
 			// Right stays nil on shards: the shared build owns the right
 			// input, and leaving it reachable would make every worker's
 			// Attach race on the one template operator.
-			parts[i] = &HashJoin{
+			j := &HashJoin{
 				Left:     c,
 				LeftKeys: op.LeftKeys, RightKeys: op.RightKeys,
 				Parallelism: op.Parallelism, MorselSize: op.MorselSize,
 				schema: op.schema, lk: op.lk, rk: op.rk,
 				build: build, shard: true,
 			}
+			j.stats = op.stats
+			parts[i] = j
 		}
 		return parts, leaves, true
 
@@ -228,11 +249,13 @@ func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, b
 		}
 		parts := make([]Operator, len(children))
 		for i, c := range children {
-			parts[i] = &IndexJoin{
+			j := &IndexJoin{
 				Outer: c, InnerTable: op.InnerTable, InnerAlias: op.InnerAlias,
 				OuterKey: op.OuterKey, InnerCol: op.InnerCol,
 				schema: op.schema, ok: op.ok, index: op.index,
 			}
+			j.stats = op.stats
+			parts[i] = j
 		}
 		return parts, leaves, true
 	}
@@ -313,9 +336,13 @@ type Gather struct {
 	MorselSize int
 
 	govHolder
+	statsHolder
 	serial bool
 	rows   [][]value.Value
 	pos    int
+	// workerMorsels[w] is how many morsels worker w claimed during the
+	// last parallel Open; EXPLAIN ANALYZE reports it per worker.
+	workerMorsels []int64
 }
 
 // NewGather wraps child in an exchange over n workers.
@@ -333,7 +360,8 @@ type gatherBatch struct {
 
 // Open splits the child and runs the partial pipelines to completion.
 func (g *Gather) Open() error {
-	g.rows, g.pos = nil, 0
+	g.stats.markOpen()
+	g.rows, g.pos, g.workerMorsels = nil, 0, nil
 	if g.N > 1 {
 		if parts, leaves, ok := splitPipeline(g.Child, g.N, g.MorselSize); ok {
 			g.serial = false
@@ -365,9 +393,11 @@ func (g *Gather) openParallel(parts []Operator, leaves []leafTracker) error {
 			if row == nil {
 				break
 			}
+			g.stats.addIn(1)
 			if m := leaf.currentMorsel(); m != cur {
 				out = append(out, gatherBatch{morsel: m})
 				cur = m
+				g.stats.incBatch()
 			}
 			b := &out[len(out)-1]
 			b.rows = append(b.rows, row)
@@ -375,6 +405,10 @@ func (g *Gather) openParallel(parts []Operator, leaves []leafTracker) error {
 		perWorker[w] = out
 		return nil
 	})
+	g.workerMorsels = make([]int64, len(leaves))
+	for w, leaf := range leaves {
+		g.workerMorsels[w] = int64(leaf.claimedMorsels())
+	}
 	if cerr := closeAll(parts); err == nil {
 		err = cerr
 	}
@@ -404,17 +438,24 @@ func (g *Gather) openParallel(parts []Operator, leaves []leafTracker) error {
 // fallback mode).
 func (g *Gather) Next() ([]value.Value, error) {
 	if g.serial {
-		return g.Child.Next()
+		row, err := g.Child.Next()
+		if row != nil {
+			g.stats.addIn(1)
+			g.stats.incOut()
+		}
+		return row, err
 	}
 	if g.pos >= len(g.rows) {
 		return nil, nil
 	}
 	row := g.rows[g.pos]
 	g.pos++
+	g.stats.incOut()
 	return row, nil
 }
 
 func (g *Gather) Close() error {
+	g.stats.markDone()
 	g.rows = nil
 	if g.serial {
 		return g.Child.Close()
@@ -446,6 +487,7 @@ type joinBuild struct {
 	rk          []Evaluator
 	parallelism int
 	morselSize  int
+	stats       *OpStats // owning HashJoin's stats: right rows count as its input
 
 	once     onceErr
 	refs     atomic.Int32
@@ -461,8 +503,8 @@ type onceErr struct {
 	err  error
 }
 
-func newJoinBuild(right Operator, rk []Evaluator, parallelism, refs, morselSize int) *joinBuild {
-	b := &joinBuild{right: right, rk: rk, parallelism: parallelism, morselSize: morselSize}
+func newJoinBuild(right Operator, rk []Evaluator, parallelism, refs, morselSize int, stats *OpStats) *joinBuild {
+	b := &joinBuild{right: right, rk: rk, parallelism: parallelism, morselSize: morselSize, stats: stats}
 	b.once.mu = make(chan struct{}, 1)
 	b.refs.Store(int32(refs))
 	return b
@@ -527,6 +569,7 @@ func (b *joinBuild) buildSerial(gov *Governor) error {
 		if row == nil {
 			return nil
 		}
+		b.stats.addIn(1)
 		keys, null, err := evalKeys(b.rk, row)
 		if err != nil {
 			return err
@@ -535,6 +578,7 @@ func (b *joinBuild) buildSerial(gov *Governor) error {
 			continue // NULL keys never join
 		}
 		b.reserved.Add(1) // a failed reservation still charges (drainBuffered convention)
+		b.stats.addBuffered(1)
 		if err := gov.ReserveBuffered(1); err != nil {
 			return err
 		}
@@ -575,6 +619,7 @@ func (b *joinBuild) buildParallel(gov *Governor, parts []Operator, leaves []leaf
 			if row == nil {
 				break
 			}
+			b.stats.addIn(1)
 			if m := leaf.currentMorsel(); m != lastMorsel {
 				lastMorsel, seq = m, 0
 			}
@@ -588,6 +633,7 @@ func (b *joinBuild) buildParallel(gov *Governor, parts []Operator, leaves []leaf
 				continue // NULL keys never join
 			}
 			b.reserved.Add(1) // a failed reservation still charges (drainBuffered convention)
+			b.stats.addBuffered(1)
 			if err := g.ReserveBuffered(1); err != nil {
 				return err
 			}
@@ -663,6 +709,7 @@ func (a *HashAggregate) openParallel(parts []Operator, leaves []leafTracker) err
 			if row == nil {
 				return nil
 			}
+			a.stats.addIn(1)
 			if m := leaf.currentMorsel(); m != lastMorsel {
 				lastMorsel, seq = m, 0
 			}

@@ -1,0 +1,268 @@
+// Per-operator instrumentation (DESIGN.md §10). Every operator can carry
+// an OpStats block counting rows in/out, batches (morsels for scans,
+// reassembly batches for Gather), buffered-row reservations and an
+// inclusive wall-clock window. Counters are atomic and *shared between an
+// operator and its split-pipeline clones*: splitPipeline propagates the
+// template's OpStats pointer into every MorselScan/shard clone, so the
+// template tree the planner returned — the one EXPLAIN renders — reports
+// totals across all workers without any merge step.
+//
+// Instrumentation is opt-in per tree (Instrument) and nil-safe per call,
+// so an uninstrumented plan pays only a pointer test per row.
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// OpStats holds one operator's execution counters. All fields are
+// atomic: probe shards, morsel scans and build workers update the same
+// block concurrently. A nil *OpStats discards updates.
+type OpStats struct {
+	in       atomic.Int64
+	out      atomic.Int64
+	batches  atomic.Int64
+	buffered atomic.Int64
+	start    atomic.Int64 // unix nanos of the first Open
+	end      atomic.Int64 // unix nanos of exhaustion/Close (max wins)
+}
+
+// addIn counts rows the operator pulled from its children.
+func (s *OpStats) addIn(n int64) {
+	if s == nil {
+		return
+	}
+	s.in.Add(n)
+}
+
+// incOut counts one emitted row.
+func (s *OpStats) incOut() {
+	if s == nil {
+		return
+	}
+	s.out.Add(1)
+}
+
+// incBatch counts one batch: a claimed morsel for scans, one reassembled
+// worker run for Gather.
+func (s *OpStats) incBatch() {
+	if s == nil {
+		return
+	}
+	s.batches.Add(1)
+}
+
+// addBuffered counts rows reserved against the buffered-row budget.
+// Operators release their reservations only at Close, so the cumulative
+// count is also the operator's buffered high-water mark.
+func (s *OpStats) addBuffered(n int64) {
+	if s == nil {
+		return
+	}
+	s.buffered.Add(n)
+}
+
+// markOpen records the wall-clock start once; with split pipelines the
+// first clone to open wins.
+func (s *OpStats) markOpen() {
+	if s == nil {
+		return
+	}
+	s.start.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// markDone advances the wall-clock end; the last clone to finish wins.
+func (s *OpStats) markDone() {
+	if s == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	for {
+		cur := s.end.Load()
+		if now <= cur || s.end.CompareAndSwap(cur, now) {
+			return
+		}
+	}
+}
+
+// RowsIn returns the rows pulled from children (0 for leaves).
+func (s *OpStats) RowsIn() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.in.Load()
+}
+
+// RowsOut returns the rows the operator emitted.
+func (s *OpStats) RowsOut() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.out.Load()
+}
+
+// Batches returns the batch count (morsels claimed, for scans).
+func (s *OpStats) Batches() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.batches.Load()
+}
+
+// Buffered returns the cumulative buffered-row reservations — the
+// operator's high-water mark, since releases happen only at Close.
+func (s *OpStats) Buffered() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.buffered.Load()
+}
+
+// Elapsed returns the inclusive wall-clock window from the operator's
+// first Open to its last exhaustion (0 when the operator never ran or
+// never finished).
+func (s *OpStats) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	start, end := s.start.Load(), s.end.Load()
+	if start == 0 || end <= start {
+		return 0
+	}
+	return time.Duration(end - start)
+}
+
+// instrumented is implemented by operators that carry an OpStats block.
+type instrumented interface {
+	opStats() *OpStats
+	setStats(*OpStats)
+}
+
+// statsHolder embeds the stats reference into an operator, mirroring
+// govHolder. splitPipeline copies the pointer into clones so counters
+// aggregate across workers.
+type statsHolder struct {
+	stats *OpStats
+}
+
+func (h *statsHolder) opStats() *OpStats   { return h.stats }
+func (h *statsHolder) setStats(s *OpStats) { h.stats = s }
+
+// Instrument allocates an OpStats block on every operator of the tree
+// that does not have one yet. Call it after planning and before Open;
+// trees left uninstrumented run with nil stats at negligible cost.
+func Instrument(op Operator) {
+	if in, ok := op.(instrumented); ok && in.opStats() == nil {
+		in.setStats(&OpStats{})
+	}
+	for _, c := range children(op) {
+		Instrument(c)
+	}
+}
+
+// ExplainAnalyze renders the operator tree like Explain, annotated with
+// the observed counters: rows in/out, batches, buffered reservations and
+// inclusive wall time. Call it after the tree has executed. Gather nodes
+// additionally report the morsels each worker claimed.
+func ExplainAnalyze(op Operator) string {
+	var b strings.Builder
+	explainAnalyze(&b, op, 0)
+	return b.String()
+}
+
+func explainAnalyze(b *strings.Builder, op Operator, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(op.Describe())
+	if in, ok := op.(instrumented); ok {
+		if s := in.opStats(); s != nil {
+			fmt.Fprintf(b, " (in=%d out=%d", s.RowsIn(), s.RowsOut())
+			if n := s.Batches(); n > 0 {
+				fmt.Fprintf(b, " batches=%d", n)
+			}
+			if n := s.Buffered(); n > 0 {
+				fmt.Fprintf(b, " buffered=%d", n)
+			}
+			fmt.Fprintf(b, " time=%s)", s.Elapsed().Round(time.Microsecond))
+		}
+	}
+	if g, ok := op.(*Gather); ok && len(g.workerMorsels) > 0 {
+		parts := make([]string, len(g.workerMorsels))
+		for w, m := range g.workerMorsels {
+			parts[w] = fmt.Sprintf("w%d:%d", w, m)
+		}
+		fmt.Fprintf(b, " morsels=[%s]", strings.Join(parts, " "))
+	}
+	b.WriteByte('\n')
+	for _, c := range children(op) {
+		explainAnalyze(b, c, depth+1)
+	}
+}
+
+// StatLine is one operator's counters in StatsTree's pre-order listing.
+type StatLine struct {
+	Depth    int
+	Op       string // Describe() output
+	In       int64
+	Out      int64
+	Batches  int64
+	Buffered int64
+}
+
+// StatsTree lists the tree's operators pre-order with their counters —
+// the programmatic twin of ExplainAnalyze, used by the determinism suite
+// to compare counters across worker counts.
+func StatsTree(op Operator) []StatLine {
+	var out []StatLine
+	statsTree(op, 0, &out)
+	return out
+}
+
+func statsTree(op Operator, depth int, out *[]StatLine) {
+	line := StatLine{Depth: depth, Op: op.Describe()}
+	if in, ok := op.(instrumented); ok {
+		if s := in.opStats(); s != nil {
+			line.In, line.Out = s.RowsIn(), s.RowsOut()
+			line.Batches, line.Buffered = s.Batches(), s.Buffered()
+		}
+	}
+	*out = append(*out, line)
+	for _, c := range children(op) {
+		statsTree(c, depth+1, out)
+	}
+}
+
+// CheckConservation verifies the row-flow invariant over an executed,
+// instrumented tree: every operator's rows-in equals the sum of its
+// children's rows-out — each row a child emitted was counted exactly
+// once by the parent that pulled it. Subtrees without stats are skipped.
+func CheckConservation(op Operator) error {
+	in, ok := op.(instrumented)
+	if ok && in.opStats() != nil {
+		kids := children(op)
+		var sum int64
+		counted := len(kids) > 0
+		for _, c := range kids {
+			ci, ok := c.(instrumented)
+			if !ok || ci.opStats() == nil {
+				counted = false
+				break
+			}
+			sum += ci.opStats().RowsOut()
+		}
+		if counted && sum != in.opStats().RowsIn() {
+			return fmt.Errorf("exec: conservation violated at %s: rows-in=%d but children emitted %d",
+				op.Describe(), in.opStats().RowsIn(), sum)
+		}
+	}
+	for _, c := range children(op) {
+		if err := CheckConservation(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

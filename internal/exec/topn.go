@@ -20,6 +20,7 @@ type TopN struct {
 	N     int
 
 	govHolder
+	statsHolder
 	evs      []Evaluator
 	rows     [][]value.Value
 	reserved int64
@@ -104,6 +105,7 @@ func sortsBefore(keys []SortKey, a, b keyed) bool {
 
 // Open drains the child through the bounded heap.
 func (t *TopN) Open() error {
+	t.stats.markOpen()
 	if err := t.Child.Open(); err != nil {
 		return err
 	}
@@ -121,6 +123,7 @@ func (t *TopN) Open() error {
 		if row == nil {
 			break
 		}
+		t.stats.addIn(1)
 		kv := make([]value.Value, len(t.evs))
 		for k, ev := range t.evs {
 			v, err := ev(row)
@@ -132,6 +135,7 @@ func (t *TopN) Open() error {
 		it := keyed{row: row, keys: kv, seq: seq}
 		seq++
 		if h.Len() < t.N {
+			t.stats.addBuffered(1)
 			if err := t.gov.ReserveBuffered(1); err != nil {
 				return err
 			}
@@ -161,10 +165,12 @@ func (t *TopN) Next() ([]value.Value, error) {
 	}
 	row := t.rows[t.pos]
 	t.pos++
+	t.stats.incOut()
 	return row, nil
 }
 
 func (t *TopN) Close() error {
+	t.stats.markDone()
 	t.rows = nil
 	t.gov.ReleaseBuffered(t.reserved)
 	t.reserved = 0

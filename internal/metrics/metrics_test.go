@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimerNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Error("nil counter should read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.SetMax(9)
+	if g.Load() != 0 {
+		t.Error("nil gauge should read 0")
+	}
+	var tm *Timer
+	tm.Observe(time.Second)
+	if tm.Total() != 0 || tm.Count() != 0 {
+		t.Error("nil timer should read 0")
+	}
+	var l *QueryLog
+	l.Record(QueryRecord{SQLHash: "x"}) // must not panic
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(10)
+	g.SetMax(4)
+	if got := g.Load(); got != 10 {
+		t.Errorf("SetMax lowered the gauge: %d", got)
+	}
+	g.SetMax(12)
+	if got := g.Load(); got != 12 {
+		t.Errorf("SetMax did not raise the gauge: %d", got)
+	}
+}
+
+// The registry's metrics take concurrent updates from many goroutines
+// without losing increments — the property the worker pool relies on.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("rows").Inc()
+				r.Gauge("peak").SetMax(int64(w*per + i))
+				r.Timer("exec").Observe(time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap["rows"] != workers*per {
+		t.Errorf("rows = %d, want %d", snap["rows"], workers*per)
+	}
+	if snap["peak"] != workers*per-1 {
+		t.Errorf("peak = %d, want %d", snap["peak"], workers*per-1)
+	}
+	if snap["exec.count"] != workers*per {
+		t.Errorf("exec.count = %d, want %d", snap["exec.count"], workers*per)
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.queries").Add(7)
+	req := httptest.NewRequest("GET", "/debug/metrics", nil)
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, req)
+	var got map[string]int64
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("handler emitted invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if got["engine.queries"] != 7 {
+		t.Errorf("engine.queries = %d, want 7", got["engine.queries"])
+	}
+}
+
+func TestHashQueryStable(t *testing.T) {
+	a, b := HashQuery("select 1"), HashQuery("select 1")
+	if a != b {
+		t.Errorf("hash not stable: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Errorf("hash length = %d, want 16 hex chars", len(a))
+	}
+	if HashQuery("select 2") == a {
+		t.Error("distinct queries should hash differently")
+	}
+}
+
+func TestQueryLogJSONLines(t *testing.T) {
+	var buf strings.Builder
+	l := NewQueryLog(&buf)
+	l.Record(QueryRecord{SQLHash: "abc", Method: "sql", Rows: 3, Micros: 42})
+	l.Record(QueryRecord{SQLHash: "def", Method: "monte-carlo", Err: "budget"})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var r0 QueryRecord
+	if err := json.Unmarshal([]byte(lines[0]), &r0); err != nil {
+		t.Fatalf("line 0 invalid: %v", err)
+	}
+	if r0.SQLHash != "abc" || r0.Rows != 3 || r0.Micros != 42 {
+		t.Errorf("line 0 = %+v", r0)
+	}
+	var r1 QueryRecord
+	if err := json.Unmarshal([]byte(lines[1]), &r1); err != nil {
+		t.Fatalf("line 1 invalid: %v", err)
+	}
+	if r1.Err != "budget" {
+		t.Errorf("line 1 err = %q, want budget", r1.Err)
+	}
+}

@@ -34,6 +34,23 @@ func Plan(db *storage.DB, stmt *sqlparse.SelectStmt, opts Options) (exec.Operato
 	return p.plan()
 }
 
+// ExplainAnalyze plans stmt, executes it with per-operator
+// instrumentation, and returns the annotated plan: each line carries the
+// observed rows in/out, batches, buffered reservations and wall time
+// (see exec.ExplainAnalyze). The query runs to completion ungoverned;
+// callers needing budgets should instrument through the engine instead.
+func ExplainAnalyze(db *storage.DB, stmt *sqlparse.SelectStmt, opts Options) (string, error) {
+	op, err := Plan(db, stmt, opts)
+	if err != nil {
+		return "", err
+	}
+	exec.Instrument(op)
+	if _, err := exec.Collect(op); err != nil {
+		return "", err
+	}
+	return exec.ExplainAnalyze(op), nil
+}
+
 type planner struct {
 	db   *storage.DB
 	stmt *sqlparse.SelectStmt

@@ -78,6 +78,20 @@ func Reason(err error) string {
 	return ""
 }
 
+// LogReason is the query-log variant of Reason: "" for nil, the
+// taxonomy keyword for typed errors, and "error" for failures outside
+// the taxonomy — a log line should always record that a query failed
+// even when the failure is untyped.
+func LogReason(err error) string {
+	if err == nil {
+		return ""
+	}
+	if r := Reason(err); r != "" {
+		return r
+	}
+	return "error"
+}
+
 // IsResource reports whether err is a degradable resource failure — one
 // the graceful-degradation ladder may respond to by retrying a cheaper
 // evaluation method. Cancellation and deadline are deliberately excluded:

@@ -1,0 +1,5 @@
+//go:build race
+
+package conquer
+
+func init() { raceEnabled = true }
