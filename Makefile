@@ -35,6 +35,8 @@ fmt:
 # Serial-vs-parallel timings for Figures 7 and 8 as machine-readable
 # JSON (ns per op at worker counts 1/2/4, plus the host's core count;
 # Figure 8 rows come in metrics=on/off pairs bounding the observability
-# overhead).
+# overhead), plus query-cache rows for each rewritten query —
+# cache=cold/warm/invalidated — pinning the hit speedup and the cost of
+# a version-vector invalidation.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) run ./cmd/benchjson -out BENCH_PR5.json

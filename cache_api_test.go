@@ -1,0 +1,64 @@
+package conquer
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestEnableCacheMemoizesEval(t *testing.T) {
+	db := paperDB(t).EnableCache(1 << 20)
+	const q = "select id from customer where balance > 10000"
+	cold, err := db.Eval(context.Background(), q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first Eval must compute")
+	}
+	warm, err := db.Eval(context.Background(), q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("repeat Eval should be cached")
+	}
+	if warm.Method != cold.Method || !reflect.DeepEqual(warm.Answers, cold.Answers) {
+		t.Fatalf("cached answers differ:\ncold %+v\nwarm %+v", cold.Answers, warm.Answers)
+	}
+	// Mutation anywhere invalidates: insert one more order.
+	db.MustInsert("orders", "14", "c2", 1, "o3", 1.0)
+	fresh, err := db.Eval(context.Background(), q, EvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Cached {
+		t.Fatal("Eval after mutation must recompute")
+	}
+}
+
+func TestEnableCacheMemoizesQueryCtx(t *testing.T) {
+	db := paperDB(t).EnableCache(1 << 20)
+	const q = "select custid, balance from customer where balance > 10000"
+	r1, err := db.QueryCtx(context.Background(), q, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.QueryCtx(context.Background(), q, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("cached rows differ: %v vs %v", r1, r2)
+	}
+	stats := db.CacheStats()
+	if !strings.Contains(stats, "result tier") {
+		t.Fatalf("CacheStats output: %q", stats)
+	}
+	// Disabling drops the cache.
+	db.EnableCache(0)
+	if db.CacheStats() != "" {
+		t.Fatal("EnableCache(0) should turn stats off")
+	}
+}

@@ -6,7 +6,12 @@
 // instrumentation on (the default everywhere) and off — so the
 // observability overhead is visible as a metrics=on/off column pair.
 //
-//	go run ./cmd/benchjson -out BENCH_PR4.json
+// It also emits query-cache rows for the rewritten queries — cold
+// execution, warm result-tier hit, and post-mutation re-execution — so
+// the cache's hit speedup and invalidation cost are pinned in the same
+// report.
+//
+//	go run ./cmd/benchjson -out BENCH_PR5.json
 //
 // Timings are best-of-reps wall clock, reported as ns per operation
 // alongside the host's core count — speedups are only meaningful
@@ -33,6 +38,10 @@ type entry struct {
 	// instrumentation enabled/disabled; empty where the toggle does not
 	// apply (Figure 7 runs outside the query engine).
 	Metrics string `json:"metrics,omitempty"`
+	// Cache is "cold", "warm" or "invalidated" for query-cache rows:
+	// first execution, result-tier hit, and re-execution after a table
+	// mutation moved the version vector. Empty elsewhere.
+	Cache string `json:"cache,omitempty"`
 }
 
 type report struct {
@@ -43,7 +52,7 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR4.json", "output path")
+	out := flag.String("out", "BENCH_PR5.json", "output path")
 	sf := flag.Float64("sf", 1, "TPC-H scaling factor")
 	scale := flag.Float64("scale", bench.DefaultScale, "entity-count multiplier")
 	ifv := flag.Int("if", 5, "inconsistency factor")
@@ -97,6 +106,30 @@ func main() {
 			}
 			rep.Results = append(rep.Results, entry{
 				Name: "fig8_rewritten/total", Workers: n, NsPerOp: total.Nanoseconds(), Metrics: metrics,
+			})
+		}
+	}
+
+	// Query-cache rows: each rewritten query cold (execute + admit), warm
+	// (result-tier hit) and invalidated (re-execution after a mutation).
+	// The workload is regenerated so the cache benchmark's mutations do
+	// not perturb the figures above.
+	dc, err := bench.GenerateWorkload(*sf, 3, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cacheRows, err := bench.FigCache(dc, *reps, 1)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range cacheRows {
+		for _, phase := range []struct {
+			label string
+			d     time.Duration
+		}{{"cold", r.Cold}, {"warm", r.Warm}, {"invalidated", r.Invalidated}} {
+			rep.Results = append(rep.Results, entry{
+				Name: fmt.Sprintf("fig8_cache/Q%d", r.Query), Workers: 1,
+				NsPerOp: phase.d.Nanoseconds(), Cache: phase.label,
 			})
 		}
 	}

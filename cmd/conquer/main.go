@@ -17,6 +17,9 @@
 //	              expvar, pprof); empty disables it. Bind localhost only —
 //	              the endpoint is unauthenticated (DESIGN.md §10).
 //	-query-log    file receiving one JSON line per executed query
+//	-cache-bytes  byte budget for the query cache's result tier (e.g.
+//	              64MiB as 67108864); 0 disables caching. Cached answers
+//	              are invalidated automatically when tables mutate.
 //
 // Inside the shell:
 //
@@ -28,6 +31,8 @@
 //	\explain analyze select ...   run the plan, print observed counters
 //	\tables                       list relations
 //	\stats                        duplication statistics, candidate count, uncertainty
+//	\cache                        query-cache statistics (hits, misses, evictions)
+//	\cache clear                  drop every cached entry
 //	\q                            quit
 //
 // Ctrl-C cancels the in-flight query (the shell reports why it stopped —
@@ -49,6 +54,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	cachepkg "conquer/internal/cache"
 	"conquer/internal/core"
 	"conquer/internal/dirty"
 	"conquer/internal/engine"
@@ -70,6 +76,7 @@ func main() {
 	par := flag.Int("parallelism", 0, "workers for parallel execution (0 = one per CPU, 1 = serial)")
 	metricsAddr := flag.String("metrics-addr", "", "debug HTTP address for /debug/metrics, expvar and pprof (empty = off; bind localhost only)")
 	queryLogPath := flag.String("query-log", "", "file receiving one JSON line per executed query")
+	cacheBytes := flag.Int64("cache-bytes", 0, "byte budget for cached query results (0 = caching off)")
 	flag.Parse()
 
 	d, err := openDatabase(*dir)
@@ -96,9 +103,15 @@ func main() {
 			}
 		}()
 	}
-	limits := exec.Limits{Timeout: *timeout}
-	eng := engine.NewWithOptions(d.Store, engine.Options{Limits: limits, Parallelism: *par, QueryLog: qlog})
-	sh := &shell{d: d, eng: eng, limits: limits, out: os.Stdout}
+	limits := exec.Limits{Timeout: *timeout, MaxCacheBytes: *cacheBytes}
+	// One cache shared by plain SQL and the eval ladder, so \cache shows
+	// the whole picture and both paths benefit from version invalidation.
+	var qc *cachepkg.Cache
+	if *cacheBytes > 0 {
+		qc = cachepkg.New(cachepkg.Options{MaxBytes: *cacheBytes})
+	}
+	eng := engine.NewWithOptions(d.Store, engine.Options{Limits: limits, Parallelism: *par, QueryLog: qlog, Cache: qc})
+	sh := &shell{d: d, eng: eng, limits: limits, cache: qc, out: os.Stdout}
 
 	if *oneShot != "" {
 		if err := sh.execute(context.Background(), *oneShot); err != nil {
@@ -220,6 +233,7 @@ type shell struct {
 	d      *dirty.DB
 	eng    *engine.Engine
 	limits exec.Limits
+	cache  *cachepkg.Cache // nil when -cache-bytes is 0
 	out    io.Writer
 }
 
@@ -246,6 +260,21 @@ func (sh *shell) execute(ctx context.Context, line string) error {
 			return err
 		}
 		fmt.Fprintf(sh.out, "candidate databases: %s (%.1f bits of uncertainty)\n", count, bits)
+		return nil
+	case line == `\cache`:
+		if sh.cache == nil {
+			fmt.Fprintln(sh.out, "cache is off (start with -cache-bytes to enable it)")
+			return nil
+		}
+		fmt.Fprint(sh.out, sh.cache.Stats().String())
+		return nil
+	case line == `\cache clear`:
+		if sh.cache == nil {
+			fmt.Fprintln(sh.out, "cache is off (start with -cache-bytes to enable it)")
+			return nil
+		}
+		sh.cache.Clear()
+		fmt.Fprintln(sh.out, "cache cleared")
 		return nil
 	case strings.HasPrefix(line, `\rewrite `):
 		stmt, err := sqlparse.Parse(strings.TrimPrefix(line, `\rewrite `))
@@ -277,12 +306,15 @@ func (sh *shell) execute(ctx context.Context, line string) error {
 		if err != nil {
 			return err
 		}
-		res, err := core.Eval(ctx, sh.d, stmt, core.EvalOptions{Limits: sh.limits})
+		res, err := core.Eval(ctx, sh.d, stmt, core.EvalOptions{Limits: sh.limits, Cache: sh.cache})
 		if err != nil {
 			return err
 		}
 		sh.printClean(res)
 		fmt.Fprintf(sh.out, "method: %s", res.Method)
+		if res.Cached {
+			fmt.Fprint(sh.out, " (cached)")
+		}
 		if len(res.Degraded) > 0 {
 			parts := make([]string, len(res.Degraded))
 			for i, d := range res.Degraded {
@@ -309,7 +341,11 @@ func (sh *shell) execute(ctx context.Context, line string) error {
 			return err
 		}
 		fmt.Fprint(sh.out, res.String())
-		fmt.Fprintf(sh.out, "(%d rows)\n", len(res.Rows))
+		if res.Stats.Cached {
+			fmt.Fprintf(sh.out, "(%d rows, cached)\n", len(res.Rows))
+		} else {
+			fmt.Fprintf(sh.out, "(%d rows)\n", len(res.Rows))
+		}
 		return nil
 	}
 }

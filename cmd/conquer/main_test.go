@@ -13,7 +13,9 @@ import (
 	"testing"
 	"time"
 
+	cachepkg "conquer/internal/cache"
 	"conquer/internal/engine"
+	"conquer/internal/metrics"
 	"conquer/internal/qerr"
 	"conquer/internal/uisgen"
 )
@@ -297,5 +299,77 @@ func TestShellStats(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("\\stats missing %q:\n%s", want, s)
 		}
+	}
+}
+
+func newCachedTestShell(t *testing.T) (*shell, *strings.Builder) {
+	t.Helper()
+	d, err := openDatabase("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := cachepkg.New(cachepkg.Options{MaxBytes: 1 << 20, Registry: metrics.NewRegistry()})
+	var out strings.Builder
+	eng := engine.NewWithOptions(d.Store, engine.Options{Cache: qc, Parallelism: 1})
+	return &shell{d: d, eng: eng, cache: qc, out: &out}, &out
+}
+
+func TestShellCacheOffMessage(t *testing.T) {
+	sh, out := newTestShell(t)
+	if err := sh.execute(context.Background(), `\cache`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cache is off") {
+		t.Errorf("\\cache without a cache:\n%s", out.String())
+	}
+}
+
+func TestShellCacheStatsAndClear(t *testing.T) {
+	sh, out := newCachedTestShell(t)
+	const q = "select id from customer"
+	if err := sh.execute(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.execute(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(4 rows, cached)") {
+		t.Errorf("second run should print the cached marker:\n%s", out.String())
+	}
+	out.Reset()
+	if err := sh.execute(context.Background(), `\cache`); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "result tier") || !strings.Contains(s, "1 hits") {
+		t.Errorf("\\cache stats:\n%s", s)
+	}
+	out.Reset()
+	if err := sh.execute(context.Background(), `\cache clear`); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cache cleared") {
+		t.Errorf("\\cache clear output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := sh.execute(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "cached") {
+		t.Errorf("query after clear must re-execute:\n%s", out.String())
+	}
+}
+
+func TestShellEvalCachedMarker(t *testing.T) {
+	sh, out := newCachedTestShell(t)
+	const q = "eval select id from customer where balance > 10000"
+	if err := sh.execute(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.execute(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(cached)") {
+		t.Errorf("repeated eval should print (cached):\n%s", out.String())
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"conquer/internal/cache"
 	"conquer/internal/core"
 	"conquer/internal/dirty"
 	"conquer/internal/engine"
@@ -52,14 +53,39 @@ import (
 
 // Database is a queryable collection of (possibly dirty) relations.
 type Database struct {
-	d   *dirty.DB
-	eng *engine.Engine
+	d     *dirty.DB
+	eng   *engine.Engine
+	cache *cache.Cache
 }
 
 // New creates an empty database.
 func New() *Database {
 	store := storage.NewDB()
 	return &Database{d: dirty.New(store), eng: engine.New(store)}
+}
+
+// EnableCache attaches a versioned multi-tier query cache (DESIGN.md
+// §11) sized to maxBytes of materialized results; plain queries and
+// clean-answer evaluations are then memoized and invalidated
+// automatically when tables mutate. maxBytes <= 0 turns caching off
+// again. It returns db for chaining.
+func (db *Database) EnableCache(maxBytes int64) *Database {
+	if maxBytes <= 0 {
+		db.cache = nil
+		db.eng = engine.New(db.d.Store)
+		return db
+	}
+	db.cache = cache.New(cache.Options{MaxBytes: maxBytes})
+	db.eng = engine.NewWithOptions(db.d.Store, engine.Options{Cache: db.cache})
+	return db
+}
+
+// CacheStats renders the cache's statistics ("" when caching is off).
+func (db *Database) CacheStats() string {
+	if db.cache == nil {
+		return ""
+	}
+	return db.cache.Stats().String()
 }
 
 // Column describes one attribute of a relation.
@@ -286,8 +312,12 @@ type CleanResult struct {
 	// "rewrite(not-rewritable)". Empty when the first rung succeeded or a
 	// fixed-method entry point was called.
 	Degraded []string
-	// Elapsed is the wall time the evaluation took.
+	// Elapsed is the wall time the evaluation took (the cache-lookup
+	// latency when Cached).
 	Elapsed time.Duration
+	// Cached reports that the answers were served from the query cache
+	// (EnableCache) instead of recomputed.
+	Cached bool
 	// StdErr bounds the standard error of each probability: 0 for exact
 	// methods, at most 1/(2*sqrt(Samples)) for Monte-Carlo.
 	StdErr float64
@@ -332,6 +362,7 @@ func convertResult(res *core.Result) *CleanResult {
 		Samples: res.Samples,
 		StdErr:  res.StdErr,
 		Elapsed: res.Elapsed,
+		Cached:  res.Cached,
 	}
 	for _, d := range res.Degraded {
 		out.Degraded = append(out.Degraded, d.String())

@@ -95,6 +95,7 @@ func (db *Database) Eval(ctx context.Context, sql string, opts EvalOptions) (res
 		Limits:  opts.Limits.internal(),
 		Samples: opts.Samples,
 		Seed:    opts.Seed,
+		Cache:   db.cache,
 	})
 	if err != nil {
 		return nil, err
@@ -147,9 +148,11 @@ func (db *Database) CleanAnswersMonteCarloCtx(ctx context.Context, sql string, n
 }
 
 // QueryCtx is Query under a context: plain SQL over the stored data with
-// cancellation and timeout support.
+// cancellation and timeout support. With EnableCache on, repeated
+// queries over unmutated tables are served from the result cache.
 func (db *Database) QueryCtx(ctx context.Context, sql string, lim Limits) (*Rows, error) {
-	res, err := engine.NewWithLimits(db.d.Store, lim.internal()).QueryCtx(ctx, sql)
+	eng := engine.NewWithOptions(db.d.Store, engine.Options{Limits: lim.internal(), Cache: db.cache})
+	res, err := eng.QueryCtx(ctx, sql)
 	if err != nil {
 		return nil, err
 	}

@@ -14,13 +14,16 @@ import (
 	"strings"
 	"time"
 
+	"conquer/internal/cache"
 	"conquer/internal/dirty"
 	"conquer/internal/engine"
+	"conquer/internal/metrics"
 	"conquer/internal/probcalc"
 	"conquer/internal/rewrite"
 	"conquer/internal/sqlparse"
 	"conquer/internal/tpch"
 	"conquer/internal/uisgen"
+	"conquer/internal/value"
 )
 
 // DefaultScale is the entity-count multiplier used by the benchmarks:
@@ -243,6 +246,118 @@ func FormatFig8(rows []Fig8Row) string {
 		fmt.Fprintf(&b, "Q%-4d  %12s  %12s  %7.2fx  %9d  %9d\n",
 			r.Query, r.Original.Round(time.Microsecond), r.Rewritten.Round(time.Microsecond),
 			r.Overhead(), r.OrigRows, r.CleanRows)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Query-cache benchmark — cold vs warm vs invalidated on the Figure 8
+// workload
+// ---------------------------------------------------------------------------
+
+// CacheRow is one rewritten query's timing through the versioned query
+// cache: a cold run (execute and admit), a warm run (served from the
+// result tier), and a run right after a table mutation (version-vector
+// miss, full re-execution).
+type CacheRow struct {
+	Query       int
+	Cold        time.Duration
+	Warm        time.Duration
+	Invalidated time.Duration
+}
+
+// Speedup returns cold/warm — how much faster a cache hit is than the
+// execution it replaces.
+func (r CacheRow) Speedup() float64 {
+	if r.Warm <= 0 {
+		return 0
+	}
+	return float64(r.Cold) / float64(r.Warm)
+}
+
+// FigCache times the thirteen rewritten queries through the query cache.
+// Cold runs clear the result tier first; warm runs repeat the query over
+// unmutated tables; invalidated runs mutate a referenced table before
+// querying, so the version vector forces a re-execution (the mutation is
+// re-inserting an existing row, which keeps timings comparable while
+// genuinely bumping the table's version).
+func FigCache(d *dirty.DB, reps, parallelism int) ([]CacheRow, error) {
+	pairs, err := PreparePairs()
+	if err != nil {
+		return nil, err
+	}
+	c := cache.New(cache.Options{MaxBytes: 256 << 20, Registry: metrics.NewRegistry()})
+	eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: parallelism, Cache: c})
+	if reps < 1 {
+		reps = 1
+	}
+	var out []CacheRow
+	for _, p := range pairs {
+		row := CacheRow{Query: p.Number}
+
+		for r := 0; r < reps; r++ {
+			c.Clear()
+			start := time.Now()
+			if _, err := eng.QueryStmt(p.Rewritten); err != nil {
+				return nil, fmt.Errorf("Q%d cold: %w", p.Number, err)
+			}
+			if dur := time.Since(start); r == 0 || dur < row.Cold {
+				row.Cold = dur
+			}
+		}
+
+		// The last cold run left the result cached; every warm rep hits.
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			res, err := eng.QueryStmt(p.Rewritten)
+			if err != nil {
+				return nil, fmt.Errorf("Q%d warm: %w", p.Number, err)
+			}
+			if !res.Stats.Cached {
+				return nil, fmt.Errorf("Q%d warm rep %d was not a cache hit", p.Number, r)
+			}
+			if dur := time.Since(start); r == 0 || dur < row.Warm {
+				row.Warm = dur
+			}
+		}
+
+		tbName := strings.ToLower(p.Rewritten.From[0].Table)
+		tb, ok := d.Store.Table(tbName)
+		if !ok {
+			return nil, fmt.Errorf("Q%d: no table %q", p.Number, tbName)
+		}
+		for r := 0; r < reps; r++ {
+			dup := make([]value.Value, len(tb.Row(0)))
+			copy(dup, tb.Row(0))
+			if err := tb.Insert(dup); err != nil {
+				return nil, fmt.Errorf("Q%d mutate %s: %w", p.Number, tbName, err)
+			}
+			start := time.Now()
+			res, err := eng.QueryStmt(p.Rewritten)
+			if err != nil {
+				return nil, fmt.Errorf("Q%d invalidated: %w", p.Number, err)
+			}
+			if res.Stats.Cached {
+				return nil, fmt.Errorf("Q%d rep %d: mutation did not invalidate", p.Number, r)
+			}
+			if dur := time.Since(start); r == 0 || dur < row.Invalidated {
+				row.Invalidated = dur
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatCache renders the cache benchmark as an aligned text table.
+func FormatCache(rows []CacheRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query cache — rewritten queries, cold vs warm vs post-mutation\n")
+	fmt.Fprintf(&b, "%-5s  %12s  %12s  %12s  %9s\n", "query", "cold", "warm", "invalidated", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "Q%-4d  %12s  %12s  %12s  %8.0fx\n",
+			r.Query, r.Cold.Round(time.Microsecond), r.Warm.Round(time.Microsecond),
+			r.Invalidated.Round(time.Microsecond), r.Speedup())
 	}
 	return b.String()
 }

@@ -90,8 +90,12 @@ type Result struct {
 	// viable rung answered).
 	Degraded []Degradation
 	// Elapsed is the wall time of the whole evaluation (the full ladder,
-	// for Eval).
+	// for Eval). For a cached result it is the cache-lookup latency.
 	Elapsed time.Duration
+	// Cached reports that the result was served from EvalOptions.Cache
+	// rather than recomputed; Method, Samples and StdErr describe the
+	// original computation.
+	Cached bool
 	// Stats aggregates engine-level accounting over every SQL query the
 	// evaluation ran.
 	Stats EvalStats

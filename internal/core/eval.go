@@ -15,6 +15,7 @@ import (
 	"math/big"
 	"time"
 
+	"conquer/internal/cache"
 	"conquer/internal/dirty"
 	"conquer/internal/exec"
 	"conquer/internal/qerr"
@@ -40,6 +41,14 @@ type EvalOptions struct {
 	// ForceExact disables degradation: Eval runs only the Exact rung and
 	// returns its error verbatim. For ground-truth comparisons in tests.
 	ForceExact bool
+	// Cache, when non-nil, memoizes whole-ladder results. Clean answers
+	// are deterministic for a fixed database state and a fixed seed, so a
+	// Result — whichever rung produced it — is cacheable keyed by the
+	// canonical statement, these options, and a version vector over every
+	// table in the store (evaluation reads dirty metadata beyond the
+	// tables the query names, so the vector is taken over all of them).
+	// Concurrent identical evaluations coalesce onto one ladder run.
+	Cache *cache.Cache
 }
 
 // exactThreshold caps the candidate count Eval will attempt exactly when
@@ -65,7 +74,60 @@ func Eval(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, opts Eval
 	lim := opts.Limits
 	ctx, cancel := lim.WithContext(ctx)
 	defer cancel()
-	inner := lim.WithoutTimeout()
+
+	if opts.Cache == nil {
+		return evalLadder(ctx, d, stmt, opts, start)
+	}
+	key := evalKey(stmt, opts)
+	vv, ok := cache.VersionVector(d.Store, d.Store.TableNames())
+	if !ok {
+		return evalLadder(ctx, d, stmt, opts, start)
+	}
+	v, shared, err := opts.Cache.Do(ctx, key, vv, func() (any, int64, error) {
+		r, err := evalLadder(ctx, d, stmt, opts, start)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, sizeOfResult(r), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := v.(*Result)
+	if !shared {
+		return r, nil
+	}
+	out := *r
+	out.Cached = true
+	out.Elapsed = time.Since(start)
+	return &out, nil
+}
+
+// evalKey fingerprints the statement and every option that changes the
+// answer (or the path to it) into the cache key for one evaluation.
+func evalKey(stmt *sqlparse.SelectStmt, opts EvalOptions) string {
+	return fmt.Sprintf("eval|%s|samples=%d;seed=%d;exact=%t;lim=%+v",
+		stmt.SQL(), opts.Samples, opts.Seed, opts.ForceExact, opts.Limits.WithoutTimeout())
+}
+
+// sizeOfResult approximates the retained bytes of a clean-answer result
+// for the cache's byte budget.
+func sizeOfResult(r *Result) int64 {
+	n := int64(128) // Result struct, headers, degradation chain
+	for _, c := range r.Columns {
+		n += int64(len(c)) + 16
+	}
+	for _, a := range r.Answers {
+		n += cache.SizeOfValues(a.Values) + 16 // probability + stderr
+	}
+	return n
+}
+
+// evalLadder is Eval's uncached body: the degradation ladder itself.
+// ctx already carries the entry-point timeout; start anchors
+// Result.Elapsed.
+func evalLadder(ctx context.Context, d *dirty.DB, stmt *sqlparse.SelectStmt, opts EvalOptions, start time.Time) (res *Result, err error) {
+	inner := opts.Limits.WithoutTimeout()
 
 	if opts.ForceExact {
 		return ExactCtx(ctx, d, stmt, inner)

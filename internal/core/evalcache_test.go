@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"conquer/internal/cache"
+	"conquer/internal/metrics"
+	"conquer/internal/sqlparse"
+	"conquer/internal/testdb"
+	"conquer/internal/value"
+)
+
+func TestEvalCachesWholeLadderResult(t *testing.T) {
+	d := testdb.Figure2()
+	c := cache.New(cache.Options{MaxBytes: 1 << 20, Registry: metrics.NewRegistry()})
+	q := sqlparse.MustParse("select id from customer where balance > 10000")
+	opts := EvalOptions{Cache: c}
+
+	cold, err := Eval(context.Background(), d, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("first evaluation must compute")
+	}
+	warm, err := Eval(context.Background(), d, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("repeat evaluation should be served from cache")
+	}
+	if warm.Method != cold.Method || !reflect.DeepEqual(warm.Answers, cold.Answers) {
+		t.Fatalf("cached result differs:\ncold %+v\nwarm %+v", cold, warm)
+	}
+	if s := c.Stats(); s.Executions != 1 || s.ResultHits != 1 {
+		t.Fatalf("cache stats: %+v", s)
+	}
+}
+
+func TestEvalCacheKeyedByOptions(t *testing.T) {
+	d := testdb.Figure2()
+	c := cache.New(cache.Options{MaxBytes: 1 << 20, Registry: metrics.NewRegistry()})
+	q := sqlparse.MustParse("select id from customer where balance > 10000")
+
+	if _, err := Eval(context.Background(), d, q, EvalOptions{Cache: c, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A different seed is a different key: Monte-Carlo degradations
+	// would produce different estimates, so they must not alias.
+	r, err := Eval(context.Background(), d, q, EvalOptions{Cache: c, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached {
+		t.Fatal("distinct options must not share a cache entry")
+	}
+}
+
+func TestEvalCacheInvalidatedByAnyTableMutation(t *testing.T) {
+	d := testdb.Figure2()
+	c := cache.New(cache.Options{MaxBytes: 1 << 20, Registry: metrics.NewRegistry()})
+	q := sqlparse.MustParse("select id from customer where balance > 10000")
+	opts := EvalOptions{Cache: c}
+
+	if _, err := Eval(context.Background(), d, q, opts); err != nil {
+		t.Fatal(err)
+	}
+	// The vector covers every store table, so mutating a table the query
+	// does not even name still forces recomputation — dirty evaluation
+	// may read metadata beyond the query's FROM list.
+	tb, ok := d.Store.Table("orders")
+	if !ok {
+		t.Fatal("figure 2 store should have orders")
+	}
+	tb.MustInsert(value.Str("o9"), value.Str("99"), value.Str("c1"), value.Int(1), value.Float(1))
+	r, err := Eval(context.Background(), d, q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cached {
+		t.Fatal("mutation anywhere in the store must invalidate eval results")
+	}
+}

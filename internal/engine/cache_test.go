@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"conquer/internal/cache"
+	"conquer/internal/metrics"
+	"conquer/internal/value"
+)
+
+func newCachedEngine(t testing.TB, log *metrics.QueryLog) (*Engine, *cache.Cache) {
+	t.Helper()
+	c := cache.New(cache.Options{MaxBytes: 1 << 20, Registry: metrics.NewRegistry()})
+	e := NewWithOptions(figure2DB(t), Options{Cache: c, Parallelism: 1, QueryLog: log})
+	return e, c
+}
+
+func TestCachedQueryReturnsIdenticalRows(t *testing.T) {
+	e, c := newCachedEngine(t, nil)
+	const q = "select id, sum(prob) from customer where balance > 10000 group by id"
+	cold, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.Cached {
+		t.Fatal("first execution must not be a cache hit")
+	}
+	warm, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Stats.Cached {
+		t.Fatal("second execution should be served from cache")
+	}
+	if !reflect.DeepEqual(cold.Rows, warm.Rows) || !reflect.DeepEqual(cold.Columns, warm.Columns) {
+		t.Fatalf("cached rows differ:\ncold %v\nwarm %v", cold.Rows, warm.Rows)
+	}
+	if warm.Stats.Rows != len(warm.Rows) {
+		t.Fatalf("cached Stats.Rows = %d, want %d", warm.Stats.Rows, len(warm.Rows))
+	}
+	if s := c.Stats(); s.ResultHits != 1 || s.Executions != 1 {
+		t.Fatalf("cache stats: %+v", s)
+	}
+}
+
+func TestMutationInvalidatesCachedResult(t *testing.T) {
+	e, _ := newCachedEngine(t, nil)
+	const q = "select count(*) from customer"
+	r1, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rows[0][0].AsInt() != 4 {
+		t.Fatalf("count = %v", r1.Rows[0][0])
+	}
+	// Mutate the table: the version vector moves, so the cached entry is
+	// stale and the next query must re-execute against fresh data.
+	tb, _ := e.db.Table("customer")
+	tb.MustInsert(value.Str("c3"), value.Str("m5"), value.Str("Ann"), value.Float(100), value.Float(1))
+	r2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.Cached {
+		t.Fatal("query after mutation must not be served from cache")
+	}
+	if r2.Rows[0][0].AsInt() != 5 {
+		t.Fatalf("count after insert = %v, want 5", r2.Rows[0][0])
+	}
+}
+
+func TestVariantSpellingsShareOneCacheEntry(t *testing.T) {
+	e, c := newCachedEngine(t, nil)
+	if _, err := e.Query("select id from customer where balance > 10000"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query("SELECT  ID   FROM Customer  WHERE Balance > 10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Cached {
+		t.Fatal("case/whitespace variant should hit the canonical entry")
+	}
+	if s := c.Stats(); s.Executions != 1 {
+		t.Fatalf("executions = %d, want 1 shared execution", s.Executions)
+	}
+}
+
+func TestParallelismIsPartOfTheCacheKey(t *testing.T) {
+	e, c := newCachedEngine(t, nil)
+	const q = "select sum(balance) from customer"
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	e.SetParallelism(2)
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cached {
+		t.Fatal("a different worker count must not reuse the serial result")
+	}
+	if s := c.Stats(); s.Executions != 2 {
+		t.Fatalf("executions = %d, want 2 (one per parallelism)", s.Executions)
+	}
+}
+
+func TestQueryLogRecordsCachedFlag(t *testing.T) {
+	var buf strings.Builder
+	log := metrics.NewQueryLog(&buf)
+	e, _ := newCachedEngine(t, log)
+	const q = "select id from customer"
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var cold, warm metrics.QueryRecord
+	if err := json.Unmarshal([]byte(lines[0]), &cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &warm); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached || !warm.Cached {
+		t.Fatalf("cached flags: cold=%v warm=%v", cold.Cached, warm.Cached)
+	}
+	// A hit still records the row count so log consumers see real
+	// throughput, not zeros.
+	if warm.Rows != cold.Rows || warm.Rows == 0 {
+		t.Fatalf("cached record rows = %d, want %d", warm.Rows, cold.Rows)
+	}
+	if cold.SQLHash != warm.SQLHash {
+		t.Fatal("hit and miss of one query must share a sql_hash")
+	}
+}
+
+func TestConcurrentIdenticalQueriesExecuteOnce(t *testing.T) {
+	e, c := newCachedEngine(t, nil)
+	const q = "select o.id, c.id from orders o, customer c where o.cidfk = c.id"
+	const workers = 16
+	results := make([]*Result, workers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			r, err := e.QueryCtx(context.Background(), q)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = r
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	if s := c.Stats(); s.Executions != 1 {
+		t.Fatalf("executions = %d, want exactly 1 across %d workers", s.Executions, workers)
+	}
+	for w := 1; w < workers; w++ {
+		if !reflect.DeepEqual(results[0].Rows, results[w].Rows) {
+			t.Fatalf("worker %d rows differ", w)
+		}
+	}
+}
+
+func TestPlanTierServesRepeatsWhenResultsDoNotFit(t *testing.T) {
+	// A byte budget too small for any result: every query re-executes,
+	// but the prepared operator tree is reused as long as the version
+	// vector holds.
+	c := cache.New(cache.Options{MaxBytes: 1, Registry: metrics.NewRegistry()})
+	e := NewWithOptions(figure2DB(t), Options{Cache: c, Parallelism: 1})
+	const q = "select count(*) from customer"
+	r1, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stats.Cached {
+		t.Fatal("result should not fit the 1-byte budget")
+	}
+	if !reflect.DeepEqual(r1.Rows, r2.Rows) {
+		t.Fatalf("plan reuse changed the answer: %v vs %v", r1.Rows, r2.Rows)
+	}
+	s := c.Stats()
+	if s.PlanHits < 1 {
+		t.Fatalf("plan hits = %d, want at least 1 (stats: %+v)", s.PlanHits, s)
+	}
+	if s.Executions != 2 {
+		t.Fatalf("executions = %d, want 2 (results never admitted)", s.Executions)
+	}
+	// A mutation invalidates the prepared plan as well — index presence
+	// changes planning, so plans refresh on any version bump.
+	tb, _ := e.db.Table("customer")
+	tb.MustInsert(value.Str("c9"), value.Str("m9"), value.Str("Zoe"), value.Float(1), value.Float(1))
+	r3, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Rows[0][0].AsInt() != 5 {
+		t.Fatalf("count after insert = %v, want 5", r3.Rows[0][0])
+	}
+}
+
+func TestUncachedEngineUnchanged(t *testing.T) {
+	e := NewWithOptions(figure2DB(t), Options{Parallelism: 1})
+	if e.Cache() != nil {
+		t.Fatal("no cache requested, none should exist")
+	}
+	res, err := e.Query("select id from customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cached {
+		t.Fatal("uncached engine must never report Cached")
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"conquer/internal/cache"
 	"conquer/internal/exec"
 	"conquer/internal/metrics"
 	"conquer/internal/plan"
@@ -41,12 +43,19 @@ type Options struct {
 	// QueryLog, when non-nil, receives one structured JSON record per
 	// executed query (success or failure).
 	QueryLog *metrics.QueryLog
+	// Cache, when non-nil, is the multi-tier query cache queries run
+	// through (DESIGN.md §11). When nil and Limits.MaxCacheBytes > 0,
+	// NewWithOptions creates a private cache of that size. A cache must
+	// only ever serve engines over the same database — its keys do not
+	// name the store.
+	Cache *cache.Cache
 }
 
 // Engine executes SQL over one database.
 type Engine struct {
-	db   *storage.DB
-	opts Options
+	db    *storage.DB
+	opts  Options
+	cache *cache.Cache
 }
 
 // New creates an engine over db with default options (parallelism
@@ -55,7 +64,11 @@ func New(db *storage.DB) *Engine { return &Engine{db: db} }
 
 // NewWithOptions creates an engine with explicit options.
 func NewWithOptions(db *storage.DB, opts Options) *Engine {
-	return &Engine{db: db, opts: opts}
+	c := opts.Cache
+	if c == nil && opts.Limits.MaxCacheBytes > 0 {
+		c = cache.New(cache.Options{MaxBytes: opts.Limits.MaxCacheBytes})
+	}
+	return &Engine{db: db, opts: opts, cache: c}
 }
 
 // NewWithLimits creates an engine whose queries run under the given
@@ -71,6 +84,10 @@ func (e *Engine) SetLimits(limits exec.Limits) { e.opts.Limits = limits }
 // SetParallelism sets the worker count for subsequent queries (0 tracks
 // GOMAXPROCS, 1 forces serial execution).
 func (e *Engine) SetParallelism(n int) { e.opts.Parallelism = n }
+
+// Cache returns the engine's query cache (nil when caching is off); the
+// REPL's \cache command reads stats and clears entries through it.
+func (e *Engine) Cache() *cache.Cache { return e.cache }
 
 // planOptions resolves the effective planner options for one query.
 func (e *Engine) planOptions() plan.Options {
@@ -107,6 +124,11 @@ type Stats struct {
 	BufferedPeak int64
 	// Rows is the number of result rows.
 	Rows int
+	// Cached reports that the rows were served from the result cache
+	// (ExecTime is then the lookup latency, not an execution, and
+	// PlanTime/BufferedPeak are zero). Cached rows are shared with the
+	// cache and must not be mutated.
+	Cached bool
 }
 
 // Query parses, plans and executes sql without cancellation.
@@ -116,8 +138,21 @@ func (e *Engine) Query(sql string) (*Result, error) {
 
 // QueryCtx parses, plans and executes sql under ctx and the engine's
 // limits. Cancellation, timeout and budget overruns surface as qerr
-// taxonomy errors.
+// taxonomy errors. With a cache attached, the parse tier serves repeated
+// raw query texts without re-parsing; cached statements are shared and
+// never mutated downstream.
 func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
+	if e.cache != nil {
+		if v, _, ok := e.cache.GetParse(sql); ok {
+			return e.QueryStmtCtx(ctx, v.(*sqlparse.SelectStmt))
+		}
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			return nil, err
+		}
+		e.cache.PutParse(sql, stmt, stmt.SQL())
+		return e.QueryStmtCtx(ctx, stmt)
+	}
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -135,6 +170,14 @@ func (e *Engine) QueryStmt(stmt *sqlparse.SelectStmt) (*Result, error) {
 // limits. It is the execution recovery boundary: operator panics are
 // caught here and returned as qerr.ErrInternal-matchable errors with
 // the stack captured.
+//
+// With a cache attached, the statement is first looked up in the result
+// tier under its canonical SQL, the planner options and a version vector
+// over every referenced table; a hit returns the materialized rows
+// without planning or executing anything. Misses run under singleflight,
+// so concurrent identical queries over the same versions share one
+// execution. Clean answers are deterministic for a fixed database state,
+// which is what makes serving the memoized result sound.
 func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (res *Result, err error) {
 	defer qerr.Recover(&err)
 	popts := e.planOptions()
@@ -142,9 +185,98 @@ func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (r
 	defer func() { e.report(stmt, popts.Parallelism, res, err, time.Since(start)) }()
 	ctx, cancel := e.opts.Limits.WithContext(ctx)
 	defer cancel()
-	op, err := plan.Plan(e.db, stmt, popts)
+	if e.cache == nil {
+		return e.executeStmt(ctx, stmt, popts, nil, "", "")
+	}
+	key := resultKey(stmt, popts)
+	vv, ok := cache.VersionVector(e.db, stmtTables(stmt))
+	if !ok {
+		// An unresolvable table: bypass the cache so planning reports
+		// the ordinary error.
+		return e.executeStmt(ctx, stmt, popts, nil, "", "")
+	}
+	v, shared, err := e.cache.Do(ctx, key, vv, func() (any, int64, error) {
+		r, err := e.executeStmt(ctx, stmt, popts, e.cache, key, vv)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, cache.SizeOfRows(r.Columns, r.Rows), nil
+	})
 	if err != nil {
 		return nil, err
+	}
+	r := v.(*Result)
+	if !shared {
+		return r, nil // this call was the one underlying execution
+	}
+	// Serve the memoized result: share the materialized rows, but report
+	// this call's own latency so percentiles stay honest.
+	out := *r
+	out.Stats.Cached = true
+	out.Stats.PlanTime = 0
+	out.Stats.ExecTime = time.Since(start)
+	out.Stats.BufferedPeak = 0
+	return &out, nil
+}
+
+// resultKey is the cache key shared by the plan and result tiers: the
+// canonical statement text plus every planner option that changes the
+// physical plan. Parallelism is part of the key because parallel partial
+// aggregation re-associates float sums — results are only guaranteed
+// byte-identical at one worker count.
+func resultKey(stmt *sqlparse.SelectStmt, popts plan.Options) string {
+	return fmt.Sprintf("%s|par=%d;idx=%t", stmt.SQL(), popts.Parallelism, popts.PreferIndexJoin)
+}
+
+// stmtTables lists the tables the statement references.
+func stmtTables(stmt *sqlparse.SelectStmt) []string {
+	names := make([]string, len(stmt.From))
+	for i, tr := range stmt.From {
+		names[i] = tr.Table
+	}
+	return names
+}
+
+// preparedPlan is one plan-tier entry: an operator tree ready to be
+// re-opened. Operator trees are stateful while executing, so a prepared
+// plan serves one execution at a time — checkout claims it, release
+// returns it. A concurrent execution that finds the tree busy simply
+// plans afresh.
+type preparedPlan struct {
+	tree  exec.Operator
+	inUse atomic.Bool
+}
+
+func (p *preparedPlan) checkout() bool { return p.inUse.CompareAndSwap(false, true) }
+func (p *preparedPlan) release()       { p.inUse.Store(false) }
+
+// executeStmt plans and executes stmt. When c is non-nil the plan tier
+// is consulted under (key, vv): a valid, idle prepared tree skips
+// parse→plan entirely and is re-opened; otherwise the fresh tree is
+// cached for the next execution. A tree that errors mid-execution is
+// dropped — a failed run may leave operators half-consumed.
+func (e *Engine) executeStmt(ctx context.Context, stmt *sqlparse.SelectStmt, popts plan.Options, c *cache.Cache, key, vv string) (*Result, error) {
+	start := time.Now()
+	var op exec.Operator
+	var prep *preparedPlan
+	if c != nil {
+		if v, ok := c.GetPlan(key, vv); ok {
+			if p := v.(*preparedPlan); p.checkout() {
+				prep, op = p, p.tree
+			}
+		}
+	}
+	if op == nil {
+		var err error
+		op, err = plan.Plan(e.db, stmt, popts)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
+			prep = &preparedPlan{tree: op}
+			prep.checkout()
+			c.PutPlan(key, vv, prep)
+		}
 	}
 	planTime := time.Since(start)
 	if !e.opts.NoInstrument {
@@ -154,6 +286,12 @@ func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (r
 	exec.Attach(op, gov)
 	execStart := time.Now()
 	rows, err := exec.CollectGoverned(op, gov)
+	if prep != nil {
+		if err != nil {
+			c.DropPlan(key)
+		}
+		prep.release()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -176,11 +314,12 @@ func (e *Engine) report(stmt *sqlparse.SelectStmt, par int, res *Result, err err
 	reg := metrics.Default
 	reg.Counter("engine.queries").Inc()
 	reg.Timer("engine.exec").Observe(elapsed)
-	rows := 0
+	rows, cached := 0, false
 	if err != nil {
 		reg.Counter("engine.errors").Inc()
 	} else if res != nil {
 		rows = res.Stats.Rows
+		cached = res.Stats.Cached
 		reg.Counter("engine.rows").Add(int64(rows))
 		reg.Gauge("engine.buffered_peak").SetMax(res.Stats.BufferedPeak)
 	}
@@ -190,6 +329,7 @@ func (e *Engine) report(stmt *sqlparse.SelectStmt, par int, res *Result, err err
 		Rows:        rows,
 		Micros:      elapsed.Microseconds(),
 		Parallelism: par,
+		Cached:      cached,
 		Err:         qerr.LogReason(err),
 	})
 }

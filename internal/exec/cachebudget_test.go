@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"conquer/internal/qerr"
+)
+
+func TestCacheBudgetReserveRelease(t *testing.T) {
+	b := NewCacheBudget(100)
+	if err := b.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve(40); err != nil {
+		t.Fatal(err)
+	}
+	if b.Bytes() != 100 || b.Peak() != 100 || b.Max() != 100 {
+		t.Fatalf("bytes=%d peak=%d max=%d", b.Bytes(), b.Peak(), b.Max())
+	}
+	if err := b.Reserve(1); !errors.Is(err, qerr.ErrBudgetExceeded) {
+		t.Fatalf("over-budget reserve: want ErrBudgetExceeded, got %v", err)
+	}
+	// A failed reservation must roll its charge back.
+	if b.Bytes() != 100 {
+		t.Fatalf("failed reserve leaked bytes: %d", b.Bytes())
+	}
+	b.Release(60)
+	if b.Bytes() != 40 {
+		t.Fatalf("bytes after release = %d, want 40", b.Bytes())
+	}
+	if err := b.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	if b.Peak() != 100 {
+		t.Fatalf("peak = %d, want 100", b.Peak())
+	}
+}
+
+func TestCacheBudgetZeroAdmitsNothing(t *testing.T) {
+	b := NewCacheBudget(0)
+	if err := b.Reserve(1); !errors.Is(err, qerr.ErrBudgetExceeded) {
+		t.Fatalf("zero budget should reject: %v", err)
+	}
+}
+
+func TestCacheBudgetNilIsUnlimited(t *testing.T) {
+	var b *CacheBudget
+	if err := b.Reserve(1 << 40); err != nil {
+		t.Fatal(err)
+	}
+	b.Release(1)
+	if b.Bytes() != 0 || b.Peak() != 0 || b.Max() != 0 {
+		t.Fatal("nil budget accessors must return zero")
+	}
+}
+
+func TestCacheBudgetConcurrent(t *testing.T) {
+	const workers, per = 8, 1000
+	b := NewCacheBudget(workers * per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := b.Reserve(1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Bytes() != workers*per {
+		t.Fatalf("bytes = %d, want %d", b.Bytes(), workers*per)
+	}
+}

@@ -254,6 +254,10 @@ type QueryRecord struct {
 	Micros int64 `json:"us"`
 	// Parallelism is the planned worker count, when known.
 	Parallelism int `json:"par,omitempty"`
+	// Cached reports that the rows were served from the result cache
+	// rather than executed. Rows and Micros are still recorded for
+	// cached answers, so latency percentiles include hits.
+	Cached bool `json:"cached,omitempty"`
 	// Err is the one-word failure reason ("" on success): a qerr keyword
 	// such as "budget", or "error" for failures outside the taxonomy.
 	Err string `json:"err,omitempty"`

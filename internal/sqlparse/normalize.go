@@ -1,0 +1,18 @@
+package sqlparse
+
+// Normalize returns the canonical spelling of a query: the statement is
+// parsed and un-parsed through SelectStmt.SQL, so keyword case,
+// identifier case, and whitespace variants of one query all map to one
+// string. Cache keys and query-log hashes are built from this form,
+// which is why "select X from T" and "SELECT x FROM t" share a cache
+// entry and a sql_hash.
+//
+// The input must be a valid statement; the parse error is returned
+// unchanged so callers can surface it instead of hashing garbage.
+func Normalize(sql string) (string, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	return stmt.SQL(), nil
+}

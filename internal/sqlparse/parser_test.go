@@ -552,3 +552,33 @@ func TestParseFromErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestNormalizeVariantSpellings(t *testing.T) {
+	variants := []string{
+		"select a, b from t where a > 1 order by b",
+		"SELECT a, b FROM t WHERE a > 1 ORDER BY b",
+		"Select  A ,  B\n\tFrom T\nWhere A > 1 Order By B",
+	}
+	want, err := Normalize(variants[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants[1:] {
+		got, err := Normalize(v)
+		if err != nil {
+			t.Fatalf("Normalize(%q): %v", v, err)
+		}
+		if got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", v, got, want)
+		}
+	}
+	// Normalization is a fixed point: canonical text re-normalizes to
+	// itself.
+	again, err := Normalize(want)
+	if err != nil || again != want {
+		t.Fatalf("not a fixed point: %q -> %q (%v)", want, again, err)
+	}
+	if _, err := Normalize("select from"); err == nil {
+		t.Fatal("invalid SQL must return the parse error")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"conquer/internal/schema"
 	"conquer/internal/value"
@@ -26,6 +27,13 @@ type Table struct {
 
 	indexes map[string]*HashIndex // column name -> index
 	inj     Injector              // fault-injection seam; nil in production
+
+	// version counts mutations to this table — inserts, column updates,
+	// re-sorts and index creation (index presence changes planning). It
+	// is monotonic and atomic so cache layers can snapshot a version
+	// vector concurrently with query execution; invalidation is then a
+	// plain compare, with no epochs or TTLs (DESIGN.md §11).
+	version atomic.Int64
 }
 
 // NewTable creates an empty table over the given schema.
@@ -35,6 +43,14 @@ func NewTable(s *schema.Relation) *Table {
 
 // Len returns the number of rows.
 func (t *Table) Len() int { return len(t.rows) }
+
+// Version returns the table's mutation counter. Two reads returning the
+// same value bracket a span with no inserts, updates, sorts or index
+// changes, so any result computed in between is still valid.
+func (t *Table) Version() int64 { return t.version.Load() }
+
+// bump records one mutation. Called after every successful state change.
+func (t *Table) bump() { t.version.Add(1) }
 
 // Row returns row i. The returned slice must not be mutated except through
 // UpdateColumn, which keeps indexes coherent.
@@ -73,6 +89,7 @@ func (t *Table) Insert(row []value.Value) error {
 	for col, idx := range t.indexes {
 		idx.add(row[t.Schema.ColumnIndex(col)], rowID)
 	}
+	t.bump()
 	return nil
 }
 
@@ -97,6 +114,7 @@ func (t *Table) UpdateColumn(i int, col string, v value.Value) error {
 		idx.remove(old, i)
 		idx.add(v, i)
 	}
+	t.bump()
 	return nil
 }
 
@@ -116,6 +134,7 @@ func (t *Table) CreateIndex(col string) error {
 		idx.add(row[ci], i)
 	}
 	t.indexes[col] = idx
+	t.bump() // index presence changes planning, so cached plans must refresh
 	return nil
 }
 
@@ -248,6 +267,9 @@ func (db *DB) Clone() (*DB, error) {
 				return nil, fmt.Errorf("storage: cloning index %s.%s: %w", name, col, err)
 			}
 		}
+		// A clone carries its source's mutation count: it is the same
+		// logical state, not a fresh table.
+		dst.version.Store(src.version.Load())
 	}
 	return out, nil
 }
@@ -371,4 +393,5 @@ func (t *Table) SortRows(cols ...int) {
 		}
 		t.indexes[col] = idx
 	}
+	t.bump()
 }

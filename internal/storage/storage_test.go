@@ -278,3 +278,65 @@ func TestIndexLookupProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTableVersionCountsMutations(t *testing.T) {
+	tb := NewTable(custSchema())
+	if tb.Version() != 0 {
+		t.Fatalf("fresh table version = %d, want 0", tb.Version())
+	}
+	tb.MustInsert(value.Str("c1"), value.Str("John"), value.Float(20000))
+	tb.MustInsert(value.Str("c2"), value.Str("Mary"), value.Float(27000))
+	if tb.Version() != 2 {
+		t.Fatalf("version after 2 inserts = %d, want 2", tb.Version())
+	}
+	v := tb.Version()
+	if err := tb.UpdateColumn(0, "balance", value.Float(1)); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Version() != v+1 {
+		t.Fatalf("UpdateColumn should bump version: %d -> %d", v, tb.Version())
+	}
+	v = tb.Version()
+	if err := tb.CreateIndex("custid"); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Version() != v+1 {
+		t.Fatalf("CreateIndex should bump version: %d -> %d", v, tb.Version())
+	}
+	v = tb.Version()
+	tb.SortRows(2)
+	if tb.Version() != v+1 {
+		t.Fatalf("SortRows should bump version: %d -> %d", v, tb.Version())
+	}
+	// Failed mutations leave the version alone.
+	v = tb.Version()
+	if err := tb.Insert([]value.Value{value.Str("short")}); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if err := tb.UpdateColumn(0, "nosuch", value.Int(1)); err == nil {
+		t.Fatal("unknown column should fail")
+	}
+	if tb.Version() != v {
+		t.Fatalf("failed mutations must not bump version: %d -> %d", v, tb.Version())
+	}
+}
+
+func TestCloneCarriesVersion(t *testing.T) {
+	db := NewDB()
+	tb := db.MustCreateTable(custSchema())
+	tb.MustInsert(value.Str("c1"), value.Str("John"), value.Float(20000))
+	tb.MustInsert(value.Str("c2"), value.Str("Mary"), value.Float(27000))
+	cp, err := db.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, _ := cp.Table("customer")
+	if ct.Version() != tb.Version() {
+		t.Fatalf("clone version = %d, want source's %d", ct.Version(), tb.Version())
+	}
+	// Diverging after the clone is independent.
+	ct.MustInsert(value.Str("c3"), value.Str("Ann"), value.Float(1))
+	if ct.Version() != tb.Version()+1 || tb.Version() != 2 {
+		t.Fatalf("clone mutations must not touch the source: clone=%d source=%d", ct.Version(), tb.Version())
+	}
+}
