@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint race fmt fuzz bench-json
+.PHONY: all build test lint lint-json lint-allows race fmt fuzz bench-json
 
 all: build lint test
 
@@ -20,7 +20,9 @@ fuzz:
 	$(GO) test -fuzz=Fuzz -fuzztime=$(FUZZTIME) ./internal/sqlparse
 
 # lint = formatting gate + standard vet + the in-tree analyzer suite
-# (ctxpoll, errwrap, floatcmp, nopanic, probflow; see DESIGN.md §7–8).
+# (nine analyzers — atomicmix, ctxpoll, errwrap, floatcmp, maporder,
+# nopanic, probflow, probtaint, versionbump; see DESIGN.md §7 and §12)
+# + the lint:allow inventory, which fails on stale waivers.
 lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
@@ -28,6 +30,16 @@ lint:
 	fi
 	$(GO) vet ./...
 	$(GO) run ./cmd/conquerlint ./...
+	@$(GO) run ./cmd/conquerlint -allows ./... >/dev/null
+
+# Machine-readable findings report (CI uploads this as an artifact).
+lint-json:
+	$(GO) run ./cmd/conquerlint -json ./...
+
+# Every lint:allow waiver with its reason and whether it still
+# suppresses anything; stale waivers fail the run.
+lint-allows:
+	$(GO) run ./cmd/conquerlint -allows ./...
 
 fmt:
 	gofmt -w .

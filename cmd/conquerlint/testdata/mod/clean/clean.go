@@ -1,0 +1,11 @@
+// Package clean has nothing to report: the driver must exit zero.
+package clean
+
+// Sum is inoffensive arithmetic.
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

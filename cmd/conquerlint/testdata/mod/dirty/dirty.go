@@ -1,0 +1,19 @@
+// Package dirty seeds violations for the conquerlint driver tests: one
+// live floatcmp finding, one used suppression, and one stale
+// suppression that waives nothing.
+package dirty
+
+// Exact compares floats bit-exactly: the driver must surface this.
+func Exact(a, b float64) bool {
+	return a == b
+}
+
+// Waived carries a used lint:allow annotation.
+func Waived(a, b float64) bool {
+	return a == b //lint:allow floatcmp -- driver-test fixture: suppression must count as used
+}
+
+// Stale carries an annotation on a line with no violation at all.
+func Stale(a, b int) bool {
+	return a == b //lint:allow floatcmp -- driver-test fixture: nothing here to suppress
+}

@@ -21,6 +21,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -49,7 +50,7 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	// Report delivers one diagnostic. Drivers install a hook that applies
-	// lint:allow suppression before recording the finding.
+	// the lint:allow waivers before recording the finding.
 	Report func(Diagnostic)
 }
 
@@ -71,17 +72,33 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 // immediately above it.
 const allowPrefix = "lint:allow"
 
+// An Annotation is one analyzer name waived by a lint:allow comment. A
+// comment naming several analyzers produces one Annotation per name.
+// Used records whether the annotation actually suppressed a diagnostic
+// during the run that collected it — an unused annotation is stale: the
+// violation it waived no longer exists, so the waiver (and the reason
+// attached to it) is misinformation that should be deleted.
+type Annotation struct {
+	File   string
+	Line   int
+	Name   string // analyzer name
+	Reason string // free text after "--", may be empty
+	Used   bool
+}
+
 // A Suppressor answers whether a diagnostic of a given analyzer at a given
-// position has been explicitly waived in the source.
+// position has been explicitly waived in the source, and tracks which
+// annotations earned their keep.
 type Suppressor struct {
 	fset *token.FileSet
-	// allowed maps file name -> line -> analyzer names waived there.
-	allowed map[string]map[int]map[string]bool
+	// allowed maps file name -> line -> analyzer name -> annotation.
+	allowed map[string]map[int]map[string]*Annotation
+	anns    []*Annotation // declaration order
 }
 
 // NewSuppressor scans the comments of files for lint:allow annotations.
 func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
-	s := &Suppressor{fset: fset, allowed: make(map[string]map[int]map[string]bool)}
+	s := &Suppressor{fset: fset, allowed: make(map[string]map[int]map[string]*Annotation)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -91,9 +108,11 @@ func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
 					continue
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
-				// Strip an optional "-- reason" tail, then the first
+				// Split off the optional "-- reason" tail, then the first
 				// whitespace-delimited token is the name list.
+				reason := ""
 				if i := strings.Index(rest, "--"); i >= 0 {
+					reason = strings.TrimSpace(rest[i+2:])
 					rest = strings.TrimSpace(rest[:i])
 				}
 				name := rest
@@ -103,17 +122,19 @@ func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
 				pos := fset.Position(c.Pos())
 				byLine := s.allowed[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
+					byLine = make(map[int]map[string]*Annotation)
 					s.allowed[pos.Filename] = byLine
 				}
 				names := byLine[pos.Line]
 				if names == nil {
-					names = make(map[string]bool)
+					names = make(map[string]*Annotation)
 					byLine[pos.Line] = names
 				}
 				for _, n := range strings.Split(name, ",") {
 					if n = strings.TrimSpace(n); n != "" {
-						names[n] = true
+						ann := &Annotation{File: pos.Filename, Line: pos.Line, Name: n, Reason: reason}
+						names[n] = ann
+						s.anns = append(s.anns, ann)
 					}
 				}
 			}
@@ -123,12 +144,39 @@ func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
 }
 
 // Allowed reports whether analyzer name is waived at pos: an annotation on
-// the same line or on the line directly above covers the diagnostic.
+// the same line or on the line directly above covers the diagnostic. A
+// hit marks the annotation used.
 func (s *Suppressor) Allowed(name string, pos token.Pos) bool {
 	p := s.fset.Position(pos)
 	byLine := s.allowed[p.Filename]
 	if byLine == nil {
 		return false
 	}
-	return byLine[p.Line][name] || byLine[p.Line-1][name]
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if ann := byLine[line][name]; ann != nil {
+			ann.Used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Annotations returns every lint:allow annotation seen, with usage
+// recorded from the Allowed calls made so far, sorted by position.
+func (s *Suppressor) Annotations() []Annotation {
+	out := make([]Annotation, len(s.anns))
+	for i, a := range s.anns {
+		out[i] = *a
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Name < b.Name
+	})
+	return out
 }

@@ -27,7 +27,18 @@ func (f Finding) String() string {
 // Run executes every analyzer on every package, applying lint:allow
 // suppression, and returns the surviving findings sorted by position.
 func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	findings, _, err := RunAll(fset, pkgs, analyzers)
+	return findings, err
+}
+
+// RunAll is Run plus the suppression inventory: every lint:allow
+// annotation seen in the loaded files, with Used set on those that
+// suppressed at least one diagnostic of this run. Unused annotations
+// are stale — the waived violation no longer exists — and conquerlint
+// -allows fails on them.
+func RunAll(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, []analysis.Annotation, error) {
 	var out []Finding
+	var anns []analysis.Annotation
 	for _, pkg := range pkgs {
 		sup := analysis.NewSuppressor(fset, pkg.Files)
 		for _, a := range analyzers {
@@ -46,10 +57,21 @@ func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyz
 				out = append(out, Finding{Analyzer: a.Name, Pos: fset.Position(d.Pos), Message: d.Message})
 			}
 			if _, err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
+		anns = append(anns, sup.Annotations()...)
 	}
+	sort.Slice(anns, func(i, j int) bool {
+		a, b := anns[i], anns[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Name < b.Name
+	})
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -63,5 +85,5 @@ func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyz
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+	return out, anns, nil
 }

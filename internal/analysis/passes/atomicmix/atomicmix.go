@@ -1,0 +1,319 @@
+// Package atomicmix defines an analyzer that keeps atomically-accessed
+// fields atomically accessed everywhere.
+//
+// The morsel-driven executor, the Governor's shared budgets and
+// storage.Table's version counter all lean on sync/atomic for
+// cross-goroutine coordination. A field that is touched through
+// sync/atomic anywhere must never be read or written plainly elsewhere:
+// the plain access races with the atomic ones, the race detector only
+// catches the interleavings a test happens to schedule, and on weak
+// memory models a torn or stale read silently corrupts budgets or
+// version vectors — turning the cache's "same version ⇒ same data"
+// guarantee into a lie.
+//
+// The analyzer runs in two phases over a package: first it collects
+// every struct field whose address reaches a sync/atomic call — either
+// directly (atomic.AddInt64(&s.f, 1)) or through a local pointer alias
+// (p := &s.f; atomic.AddInt64(p, 1)) — then it flags every plain read
+// or write of those
+// fields, including writes through the same aliases. Composite-literal
+// initialization is exempt (construction happens before the value is
+// shared), and deliberate pre-publication access carries
+// "//lint:allow atomicmix" with a reason. Fields of the atomic.Int64
+// family are immune by construction and out of scope.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"conquer/internal/analysis"
+)
+
+// Analyzer flags mixed atomic/plain access to the same struct field.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a struct field accessed via sync/atomic anywhere must not be read or written plainly elsewhere (data race; use the atomic API or an atomic.Int64-family field)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Phase 1: find fields whose address flows into sync/atomic calls.
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic use
+	forEachFunc(pass, func(body *ast.BlockStmt, ftype *ast.FuncType, recv *ast.FieldList) {
+		collectAtomicFields(pass, body, atomicFields)
+	})
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+
+	// Phase 2: flag plain accesses to those fields.
+	forEachFunc(pass, func(body *ast.BlockStmt, ftype *ast.FuncType, recv *ast.FieldList) {
+		flagPlainAccesses(pass, body, atomicFields)
+	})
+	return nil, nil
+}
+
+// forEachFunc visits every function body in the package, including
+// function literals, skipping test files.
+func forEachFunc(pass *analysis.Pass, fn func(*ast.BlockStmt, *ast.FuncType, *ast.FieldList)) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn(fd.Body, fd.Type, fd.Recv)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(lit.Body, lit.Type, nil)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldOf resolves e to the struct-field variable it selects, or nil.
+func fieldOf(pass *analysis.Pass, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj().(*types.Var)
+	}
+	return nil
+}
+
+// addrOfField matches &x.f and returns f's object.
+func addrOfField(pass *analysis.Pass, e ast.Expr) *types.Var {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	return fieldOf(pass, un.X)
+}
+
+// isAtomicCall reports whether call invokes a function of sync/atomic.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	return ok && pn.Imported().Path() == "sync/atomic"
+}
+
+// collectAtomicFields records fields whose address reaches a
+// sync/atomic call in this function, directly or via a pointer alias.
+func collectAtomicFields(pass *analysis.Pass, body *ast.BlockStmt, out map[*types.Var]token.Pos) {
+	aliases := fieldAliases(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if f := addrOfField(pass, arg); f != nil {
+				if _, seen := out[f]; !seen {
+					out[f] = call.Pos()
+				}
+				continue
+			}
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					if f, ok := aliases[obj]; ok {
+						if _, seen := out[f]; !seen {
+							out[f] = call.Pos()
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// fieldAliases maps local pointer variables to the field they alias
+// (v := &x.f anywhere in the function). One level of aliasing is
+// tracked — enough for the take-address-then-call idiom.
+func fieldAliases(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]*types.Var {
+	aliases := make(map[types.Object]*types.Var)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			f := addrOfField(pass, as.Rhs[i])
+			if f == nil {
+				continue
+			}
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				aliases[obj] = f
+			}
+		}
+		return true
+	})
+	return aliases
+}
+
+// flagPlainAccesses reports non-atomic reads and writes of tracked
+// fields in this function.
+func flagPlainAccesses(pass *analysis.Pass, body *ast.BlockStmt, atomicFields map[*types.Var]token.Pos) {
+	aliases := fieldAliases(pass, body)
+
+	// Selector expressions consumed by an atomic call (as &x.f) or by an
+	// alias definition are sanctioned; collect them first.
+	sanctioned := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isAtomicCall(pass, n) {
+				for _, arg := range n.Args {
+					markAddrTarget(pass, arg, sanctioned)
+				}
+			}
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) {
+					if f := addrOfField(pass, n.Rhs[i]); f != nil {
+						markAddrTarget(pass, n.Rhs[i], sanctioned)
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	report := func(pos token.Pos, f *types.Var, how string) {
+		pass.Reportf(pos, "plain %s of %s.%s, which is accessed with sync/atomic elsewhere (first at %s); every access must go through the atomic API",
+			how, fieldOwner(f), f.Name(), pass.Fset.Position(atomicFields[f]))
+	}
+
+	// Writes: assignments and inc/dec whose lvalue is (or aliases) a
+	// tracked field.
+	writes := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkLvalue(pass, lhs, aliases, atomicFields, func(f *types.Var) {
+					writes[lhs] = true
+					report(lhs.Pos(), f, "write")
+				})
+			}
+		case *ast.IncDecStmt:
+			checkLvalue(pass, n.X, aliases, atomicFields, func(f *types.Var) {
+				writes[n.X] = true
+				report(n.X.Pos(), f, "write")
+			})
+		}
+		return true
+	})
+
+	// Reads: any remaining selector of a tracked field, and derefs of
+	// aliases.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sanctioned[n] || writes[n] {
+				return true
+			}
+			if f := fieldOf(pass, n); f != nil {
+				if _, tracked := atomicFields[f]; tracked {
+					report(n.Pos(), f, "read")
+				}
+			}
+		case *ast.StarExpr:
+			if writes[n] {
+				return true
+			}
+			if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					if f, ok := aliases[obj]; ok {
+						if _, tracked := atomicFields[f]; tracked {
+							report(n.Pos(), f, "read")
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkLvalue calls found when lhs resolves to a tracked field: a
+// direct selector (x.f = v), an element of it, or a deref of an alias
+// (*p = v).
+func checkLvalue(pass *analysis.Pass, lhs ast.Expr, aliases map[types.Object]*types.Var, atomicFields map[*types.Var]token.Pos, found func(*types.Var)) {
+	if f := fieldOf(pass, lhs); f != nil {
+		if _, tracked := atomicFields[f]; tracked {
+			found(f)
+		}
+		return
+	}
+	if st, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+		if id, ok := ast.Unparen(st.X).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				if f, ok := aliases[obj]; ok {
+					if _, tracked := atomicFields[f]; tracked {
+						found(f)
+					}
+				}
+			}
+		}
+	}
+}
+
+// markAddrTarget marks the selector inside &x.f as sanctioned.
+func markAddrTarget(pass *analysis.Pass, e ast.Expr, sanctioned map[ast.Node]bool) {
+	un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return
+	}
+	if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+		sanctioned[sel] = true
+	}
+}
+
+// fieldOwner names the struct type declaring f, best-effort.
+func fieldOwner(f *types.Var) string {
+	// The field's parent scope is the struct; walk the package scope for
+	// a named type whose underlying struct contains f.
+	if pkg := f.Pkg(); pkg != nil {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == f {
+					return tn.Name()
+				}
+			}
+		}
+	}
+	return "?"
+}

@@ -1,0 +1,57 @@
+// Package atomicmixfix seeds mixed atomic/plain field access.
+package atomicmixfix
+
+import "sync/atomic"
+
+// Worker mirrors an executor worker whose counter is shared across
+// goroutines.
+type Worker struct {
+	processed int64
+	name      string
+}
+
+// Record is the sanctioned atomic path.
+func (w *Worker) Record() {
+	atomic.AddInt64(&w.processed, 1)
+}
+
+// Snapshot reads the counter plainly: races with Record.
+func (w *Worker) Snapshot() int64 {
+	return w.processed // want `plain read of Worker\.processed`
+}
+
+// Reset writes the counter plainly: races with Record.
+func (w *Worker) Reset() {
+	w.processed = 0 // want `plain write of Worker\.processed`
+}
+
+// Bump increments plainly: the classic lost-update race.
+func (w *Worker) Bump() {
+	w.processed++ // want `plain write of Worker\.processed`
+}
+
+// ViaAlias reaches the field through a local pointer.
+func (w *Worker) ViaAlias() int64 {
+	p := &w.processed
+	atomic.AddInt64(p, 1) // compliant: atomic through the alias
+	return *p             // want `plain read of Worker\.processed`
+}
+
+// Name touches an untracked field: no atomic access anywhere.
+func (w *Worker) Name() string {
+	return w.name // compliant: name is never accessed atomically
+}
+
+// NewWorker initializes by composite literal, which is exempt: the
+// value is not shared yet.
+func NewWorker() *Worker {
+	return &Worker{processed: 0, name: "w"}
+}
+
+// PrePublish documents a sanctioned pre-publication write.
+func PrePublish() *Worker {
+	w := &Worker{}
+	//lint:allow atomicmix -- w is not yet visible to other goroutines
+	w.processed = 42
+	return w
+}

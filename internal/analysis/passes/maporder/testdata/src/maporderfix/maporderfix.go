@@ -1,0 +1,103 @@
+// Package maporderfix seeds order-sensitive computation over map ranges.
+package maporderfix
+
+import "sort"
+
+// jsTerms mimics the original JSSparse bug: folding float terms in map
+// order.
+func jsTerms(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation into sum in map-iteration order`
+	}
+	return sum
+}
+
+// viaTemp launders the iteration value through a temporary; taint
+// tracking still sees it.
+func viaTemp(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		scaled := v * 0.5
+		total += scaled // want `float accumulation into total in map-iteration order`
+	}
+	return total
+}
+
+// selfAssign uses the s = s + v spelling instead of +=.
+func selfAssign(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s = s + v // want `float accumulation into s in map-iteration order`
+	}
+	return s
+}
+
+// unsortedKeys appends map keys and returns them unsorted: the output
+// order is randomized.
+func unsortedKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys in map-iteration order`
+	}
+	return keys
+}
+
+// sortedKeys is the sanctioned collect-then-sort idiom.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // compliant: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perKeyWrite updates one entry per iteration; order cannot matter.
+func perKeyWrite(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v * 0.5 // compliant: indexed by the range key
+	}
+}
+
+// perIterationTemp re-initializes the accumulator every iteration.
+func perIterationTemp(m map[string][]float64) []float64 {
+	var sums []float64
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v // compliant: vs is a slice; s reset per map iteration
+		}
+		sums = append(sums, s) // want `append to sums in map-iteration order`
+	}
+	return sums
+}
+
+// constantFold accumulates a constant: the terms are identical, so any
+// order sums to the same value.
+func constantFold(m map[string]float64) float64 {
+	n := 0.0
+	for range m {
+		n += 1.0 // compliant: nothing iteration-derived
+	}
+	return n
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(vs []float64) float64 {
+	sum := 0.0
+	for _, v := range vs {
+		sum += v // compliant: slice iteration order is fixed
+	}
+	return sum
+}
+
+// allowed documents a deliberate order-insensitive fold.
+func allowed(m map[string]float64) float64 {
+	max := 0.0
+	for _, v := range m {
+		//lint:allow maporder -- max is order-insensitive, fold kept simple
+		max += v
+	}
+	return max
+}

@@ -1,0 +1,12 @@
+package probtaint_test
+
+import (
+	"testing"
+
+	"conquer/internal/analysis/analysistest"
+	"conquer/internal/analysis/passes/probtaint"
+)
+
+func TestProbtaint(t *testing.T) {
+	analysistest.Run(t, "testdata", probtaint.Analyzer, "probtaintfix")
+}

@@ -1,0 +1,104 @@
+// Package probtaintfix seeds bit-exact uses of probability-derived
+// values.
+package probtaintfix
+
+// Answer mirrors core.Answer: a tuple with its probability.
+type Answer struct {
+	Prob float64
+	Rank int
+}
+
+// Dataset mimics probcalc.Dataset's distribution accessor.
+type Dataset struct{ rows int }
+
+// TupleDistribution returns a probability distribution keyed by
+// cluster.
+func (d *Dataset) TupleDistribution(i int) map[string]float64 {
+	return map[string]float64{"c": 1}
+}
+
+// directCompare compares a probability bit-exactly.
+func directCompare(a, b Answer) bool {
+	return a.Prob == b.Prob // want `probability-derived value compared with ==`
+}
+
+// throughTemp launders the probability through a temporary; the taint
+// solver follows it.
+func throughTemp(a Answer, threshold float64) bool {
+	p := a.Prob
+	scaled := p * 2
+	return scaled != threshold // want `probability-derived value compared with !=`
+}
+
+// rankCompare compares the integer rank: ints carry no epsilon
+// semantics.
+func rankCompare(a, b Answer) bool {
+	return a.Rank == b.Rank // compliant: exact integer comparison
+}
+
+// untaintedCompare compares floats that never touched a probability;
+// probtaint stays quiet (floatcmp owns the generic case).
+func untaintedCompare(x, y float64) bool {
+	return x == y // compliant here: not probability-derived
+}
+
+// reassigned strongly overwrites the tainted variable before the
+// comparison: the taint is gone.
+func reassigned(a Answer, y float64) bool {
+	p := a.Prob
+	p = 0.5
+	return p == y // compliant: p was overwritten with a constant
+}
+
+// probAsKey buckets by raw probability: epsilon-equal values miss each
+// other.
+func probAsKey(answers []Answer) map[float64]int {
+	counts := make(map[float64]int)
+	for _, a := range answers {
+		counts[a.Prob]++ // want `probability-derived value used as map key`
+	}
+	return counts
+}
+
+// mapOrderFold folds a distribution in map-iteration order.
+func mapOrderFold(d *Dataset) float64 {
+	dist := d.TupleDistribution(0)
+	sum := 0.0
+	for _, p := range dist {
+		sum += p // want `probability values folded in map-iteration order`
+	}
+	return sum
+}
+
+// perKeyMerge writes per key while ranging: commutes, so compliant.
+func perKeyMerge(d *Dataset, out map[string]float64) {
+	dist := d.TupleDistribution(0)
+	for k, p := range dist {
+		out[k] += p * 0.5 // compliant: indexed by the range key
+	}
+}
+
+// sliceFold accumulates over a slice: iteration order is fixed.
+func sliceFold(answers []Answer) float64 {
+	total := 0.0
+	for _, a := range answers {
+		total += a.Prob // compliant: slices iterate in index order
+	}
+	return total
+}
+
+// nilCheck compares a tainted interface against nil: an identity test,
+// not a value comparison (regression: probcalc's UpdateColumn err check
+// was flagged because err's producer took a.Prob as an argument).
+func nilCheck(a Answer, update func(float64) error) error {
+	if err := update(a.Prob); err != nil { // compliant: nil check
+		return err
+	}
+	return nil
+}
+
+// allowed documents a sanctioned exact comparison.
+func allowed(a Answer) bool {
+	//lint:allow probtaint -- sentinel: exact 0 marks "never assigned"
+	return a.Prob == 0
+}

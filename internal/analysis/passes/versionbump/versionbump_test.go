@@ -1,0 +1,12 @@
+package versionbump_test
+
+import (
+	"testing"
+
+	"conquer/internal/analysis/analysistest"
+	"conquer/internal/analysis/passes/versionbump"
+)
+
+func TestVersionbump(t *testing.T) {
+	analysistest.Run(t, "testdata", versionbump.Analyzer, "versionbumpfix")
+}

@@ -765,7 +765,7 @@ func (a *HashAggregate) emit(order []*aggState) error {
 		}
 		row := make([]value.Value, 0, len(a.schema))
 		row = append(row, st.groupVals...)
-		for i, spec := range a.Aggs { //lint:allow ctxpoll -- bounded by the aggregate list, not data size
+		for i, spec := range a.Aggs {
 			row = append(row, finishAgg(spec.Func, st, i))
 		}
 		a.out = append(a.out, row)
@@ -944,7 +944,7 @@ func (s *Sort) Open() error {
 			return err
 		}
 		kv := make([]value.Value, len(s.evs))
-		for k, ev := range s.evs { //lint:allow ctxpoll -- bounded by the sort-key width, not data size
+		for k, ev := range s.evs {
 			v, err := ev(row)
 			if err != nil {
 				evalErr = err
@@ -963,7 +963,7 @@ func (s *Sort) Open() error {
 	}
 	sort.SliceStable(idx, func(x, y int) bool {
 		a, b := keys[idx[x]], keys[idx[y]]
-		for k := range s.Keys { //lint:allow ctxpoll -- bounded by the sort-key width, not data size
+		for k := range s.Keys {
 			c := value.Compare(a[k], b[k])
 			if c == 0 {
 				continue
