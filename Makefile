@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint lint-json lint-allows race fmt fuzz bench-json
+.PHONY: all build test lint lint-json lint-allows race fmt fuzz bench-json bench-json-pr7 load-smoke
 
 all: build lint test
 
@@ -50,5 +50,19 @@ fmt:
 # overhead), plus query-cache rows for each rewritten query —
 # cache=cold/warm/invalidated — pinning the hit speedup and the cost of
 # a version-vector invalidation.
-bench-json:
+bench-json: bench-json-pr7
 	$(GO) run ./cmd/benchjson -out BENCH_PR5.json
+
+# Serving-layer load benchmark (DESIGN.md §13): an in-process conquerd
+# over generated dirty TPC-H data, an uncontended baseline phase, then
+# a 4×-capacity closed-loop overload. BENCH_PR7.json records latency
+# percentiles and shed rate for both phases plus the acceptance checks
+# (overload sheds with 429, every shed carries Retry-After, admitted
+# p99 within 3× of baseline).
+bench-json-pr7:
+	$(GO) run ./cmd/loadgen -mode bench -duration 4s -out BENCH_PR7.json
+
+# CI load-smoke gate: low-QPS traffic under the admission watermark
+# must shed nothing, fail nothing, and keep p99 interactive.
+load-smoke:
+	$(GO) run ./cmd/loadgen -mode smoke -qps 15 -duration 2s

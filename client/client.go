@@ -1,0 +1,287 @@
+// Package client is a small Go client for the conquerd serving API
+// (DESIGN.md §13). It speaks the server's machine-readable error bodies
+// and implements the retry discipline the status table is designed for:
+// only resource refusals (429 shed/budget, 503 draining) are retried,
+// with exponential backoff, jitter, and the server's Retry-After hint
+// taking precedence over the local schedule. Everything else — bad
+// requests, cancellations, deadlines, internal errors — is returned
+// immediately; retrying those wastes capacity at best and hammers a
+// struggling server at worst.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client talks to one conquerd server on behalf of one tenant.
+type Client struct {
+	base        string
+	key         string
+	hc          *http.Client
+	maxRetries  int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying HTTP client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithMaxRetries sets how many times a retryable refusal is retried
+// (default 3; 0 disables retrying).
+func WithMaxRetries(n int) Option {
+	return func(c *Client) { c.maxRetries = n }
+}
+
+// WithBackoff sets the exponential-backoff schedule used when the server
+// does not supply Retry-After: wait base<<attempt, capped at max
+// (defaults 100ms and 5s).
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		c.baseBackoff = base
+		c.maxBackoff = max
+	}
+}
+
+// New creates a client for the server at baseURL authenticating as
+// apiKey.
+func New(baseURL, apiKey string, opts ...Option) *Client {
+	c := &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		key:         apiKey,
+		hc:          http.DefaultClient,
+		maxRetries:  3,
+		baseBackoff: 100 * time.Millisecond,
+		maxBackoff:  5 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// APIError is a non-2xx response, decoded from the server's JSON error
+// body.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Reason is the server's stable one-word reason keyword ("shed",
+	// "budget", "deadline", ...).
+	Reason string
+	// Message is the human-readable error text.
+	Message string
+	// RetryAfter is the server's backoff hint, when it sent one.
+	RetryAfter time.Duration
+}
+
+// Error renders the failure with its status and reason.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server responded %d (%s): %s", e.Status, e.Reason, e.Message)
+}
+
+// Temporary reports whether the failure is a transient resource refusal
+// worth retrying: shed or budget 429s and draining 503s. A 499/504/500
+// is not — the request either already charged the server or will fail
+// identically again.
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Stats is the server's per-request accounting block.
+type Stats struct {
+	Rows         int   `json:"rows"`
+	ExecMicros   int64 `json:"exec_us"`
+	QueuedMicros int64 `json:"queued_us"`
+	Parallelism  int   `json:"par,omitempty"`
+	Cached       bool  `json:"cached,omitempty"`
+}
+
+// QueryResult is a successful /v1/query response.
+type QueryResult struct {
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	Stats   Stats    `json:"stats"`
+}
+
+// CleanAnswer is one clean answer with its probability.
+type CleanAnswer struct {
+	Values []any   `json:"values"`
+	Prob   float64 `json:"prob"`
+	StdErr float64 `json:"stderr,omitempty"`
+}
+
+// CleanResult is a successful /v1/clean response.
+type CleanResult struct {
+	Columns  []string      `json:"columns"`
+	Answers  []CleanAnswer `json:"answers"`
+	Method   string        `json:"method"`
+	Degraded []string      `json:"degraded,omitempty"`
+	Samples  int           `json:"samples,omitempty"`
+	StdErr   float64       `json:"stderr,omitempty"`
+	Stats    Stats         `json:"stats"`
+}
+
+// CleanOptions tunes a clean-answer evaluation.
+type CleanOptions struct {
+	// Samples is the Monte-Carlo sample count should evaluation degrade
+	// that far (server default when 0).
+	Samples int
+	// Seed makes degraded Monte-Carlo estimates reproducible.
+	Seed int64
+}
+
+// Query runs sql as a plain query under the tenant's limits.
+func (c *Client) Query(ctx context.Context, sql string) (*QueryResult, error) {
+	var out QueryResult
+	if err := c.call(ctx, "/v1/query", map[string]any{"sql": sql}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Clean evaluates sql with clean-answer semantics through the server's
+// degradation ladder.
+func (c *Client) Clean(ctx context.Context, sql string, opts CleanOptions) (*CleanResult, error) {
+	body := map[string]any{"sql": sql}
+	if opts.Samples > 0 {
+		body["samples"] = opts.Samples
+	}
+	if opts.Seed != 0 {
+		body["seed"] = opts.Seed
+	}
+	var out CleanResult
+	if err := c.call(ctx, "/v1/clean", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthy reports whether the server answers its health check with 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, "GET", c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	defer res.Body.Close()
+	_, _ = io.Copy(io.Discard, res.Body)
+	return res.StatusCode == http.StatusOK
+}
+
+// call posts body to path, retrying temporary refusals, and decodes the
+// success body into out.
+func (c *Client) call(ctx context.Context, path string, body any, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || !apiErr.Temporary() || attempt >= c.maxRetries {
+			return err
+		}
+		wait := c.backoff(attempt)
+		if apiErr.RetryAfter > 0 {
+			wait = apiErr.RetryAfter
+		}
+		wait += jitter(wait)
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("client: giving up while backing off: %w", context.Cause(ctx))
+		}
+	}
+}
+
+// once performs a single request/response cycle.
+func (c *Client) once(ctx context.Context, path string, payload []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, "POST", c.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Api-Key", c.key)
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(res.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if res.StatusCode != http.StatusOK {
+		return decodeAPIError(res, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// decodeAPIError builds an APIError from an error response, surviving
+// bodies that are not the server's JSON shape (proxies, panics).
+func decodeAPIError(res *http.Response, raw []byte) *APIError {
+	apiErr := &APIError{Status: res.StatusCode, Message: strings.TrimSpace(string(raw))}
+	var body struct {
+		Error        string `json:"error"`
+		Reason       string `json:"reason"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}
+	if err := json.Unmarshal(raw, &body); err == nil && body.Reason != "" {
+		apiErr.Reason = body.Reason
+		apiErr.Message = body.Error
+		apiErr.RetryAfter = time.Duration(body.RetryAfterMS) * time.Millisecond
+	}
+	if apiErr.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(res.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// backoff is the local exponential schedule for attempt n.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.baseBackoff
+	for i := 0; i < attempt && d < c.maxBackoff; i++ {
+		d *= 2
+	}
+	if d > c.maxBackoff {
+		d = c.maxBackoff
+	}
+	return d
+}
+
+// jitter draws a uniform extra wait in [0, d/2): desynchronizes the
+// retry herd a shed event creates.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(d)/2 + 1))
+}

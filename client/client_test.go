@@ -1,0 +1,184 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubServer fakes conquerd: a scripted sequence of responses per call.
+func stubServer(t *testing.T, responses []func(w http.ResponseWriter, r *http.Request)) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n >= len(responses) {
+			t.Errorf("unexpected call %d to %s", n, r.URL.Path)
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		responses[n](w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func shedResponse(retryAfterMS int64) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"error": "server: overloaded, request shed", "reason": "shed",
+			"status": 429, "retry_after_ms": retryAfterMS,
+		})
+	}
+}
+
+func okResponse(w http.ResponseWriter, _ *http.Request) {
+	_ = json.NewEncoder(w).Encode(QueryResult{
+		Columns: []string{"id"},
+		Rows:    [][]any{{float64(1)}},
+		Stats:   Stats{Rows: 1},
+	})
+}
+
+// A shed response is retried after the server's hint and then succeeds.
+func TestRetriesShedThenSucceeds(t *testing.T) {
+	srv, calls := stubServer(t, []func(http.ResponseWriter, *http.Request){
+		shedResponse(5), // retry after 5ms, not the 1s header
+		okResponse,
+	})
+	c := New(srv.URL, "k", WithBackoff(time.Millisecond, 10*time.Millisecond))
+	start := time.Now()
+	res, err := c.Query(context.Background(), "select id from big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", calls.Load())
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+	// The millisecond-precision body hint must win over the rounded-up
+	// 1-second header, or shed retries would be 100× too slow.
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("retry waited %v; the retry_after_ms hint was ignored", elapsed)
+	}
+}
+
+// Non-resource failures are returned immediately: retrying a 400, a 499,
+// a 500 or a 504 cannot succeed and only adds load.
+func TestDoesNotRetryNonResourceErrors(t *testing.T) {
+	for _, status := range []int{400, 401, 499, 500, 504} {
+		srv, calls := stubServer(t, []func(http.ResponseWriter, *http.Request){
+			func(w http.ResponseWriter, _ *http.Request) {
+				w.WriteHeader(status)
+				_ = json.NewEncoder(w).Encode(map[string]any{
+					"error": "nope", "reason": "whatever", "status": status,
+				})
+			},
+		})
+		c := New(srv.URL, "k", WithBackoff(time.Millisecond, 2*time.Millisecond))
+		_, err := c.Query(context.Background(), "select 1")
+		if err == nil {
+			t.Fatalf("status %d: no error", status)
+		}
+		if calls.Load() != 1 {
+			t.Errorf("status %d: calls = %d, want 1 (no retry)", status, calls.Load())
+		}
+		apiErr, ok := err.(*APIError)
+		if !ok {
+			t.Fatalf("status %d: error type %T", status, err)
+		}
+		if apiErr.Status != status || apiErr.Temporary() {
+			t.Errorf("status %d: apiErr = %+v", status, apiErr)
+		}
+	}
+}
+
+// Retries are bounded by WithMaxRetries.
+func TestRetryBudgetExhausts(t *testing.T) {
+	srv, calls := stubServer(t, []func(http.ResponseWriter, *http.Request){
+		shedResponse(1), shedResponse(1), shedResponse(1),
+	})
+	c := New(srv.URL, "k", WithMaxRetries(2), WithBackoff(time.Millisecond, 2*time.Millisecond))
+	_, err := c.Query(context.Background(), "select 1")
+	if err == nil {
+		t.Fatal("want error after retry budget")
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3 (initial + 2 retries)", calls.Load())
+	}
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Status != http.StatusTooManyRequests || apiErr.Reason != "shed" {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Cancellation during backoff returns promptly instead of sleeping out
+// the schedule.
+func TestCancelDuringBackoff(t *testing.T) {
+	srv, _ := stubServer(t, []func(http.ResponseWriter, *http.Request){
+		shedResponse(60_000), // server asks for a minute
+	})
+	c := New(srv.URL, "k")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Query(ctx, "select 1")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("client slept through cancellation")
+	}
+}
+
+// The draining 503 is temporary — a client pointed at a replica set
+// retries and lands elsewhere.
+func TestRetriesDraining(t *testing.T) {
+	srv, calls := stubServer(t, []func(http.ResponseWriter, *http.Request){
+		func(w http.ResponseWriter, _ *http.Request) {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"error": "server: draining for shutdown", "reason": "shutdown",
+				"status": 503, "retry_after_ms": 2,
+			})
+		},
+		okResponse,
+	})
+	c := New(srv.URL, "k", WithBackoff(time.Millisecond, 2*time.Millisecond))
+	if _, err := c.Query(context.Background(), "select 1"); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	c := New("http://unused", "k", WithBackoff(100*time.Millisecond, time.Second))
+	want := []time.Duration{100, 200, 400, 800, 1000, 1000}
+	for i, w := range want {
+		if got := c.backoff(i); got != w*time.Millisecond {
+			t.Errorf("backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		j := jitter(100 * time.Millisecond)
+		if j < 0 || j > 50*time.Millisecond {
+			t.Fatalf("jitter out of [0, d/2]: %v", j)
+		}
+	}
+	if jitter(0) != 0 {
+		t.Error("jitter(0) != 0")
+	}
+}

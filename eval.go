@@ -20,10 +20,18 @@ import (
 // Typed failure sentinels, re-exported from the internal taxonomy so
 // callers dispatch with errors.Is without importing internal packages.
 var (
-	// ErrCanceled reports that the caller's context was canceled.
+	// ErrCanceled reports that the caller gave up: its context was
+	// canceled, or a deadline the caller itself imposed passed.
 	ErrCanceled = qerr.ErrCanceled
-	// ErrDeadline reports that the query timeout passed.
+	// ErrDeadline reports that the configured query timeout
+	// (Limits.Timeout) passed. A deadline on the caller's own context
+	// reports ErrCanceled instead — the two stay distinguishable so a
+	// serving layer can tell a client that hung up (HTTP 499) from a
+	// query the server timed out (HTTP 504).
 	ErrDeadline = qerr.ErrDeadline
+	// ErrShutdown reports that a serving process canceled the query
+	// while draining for shutdown.
+	ErrShutdown = qerr.ErrShutdown
 	// ErrBudgetExceeded reports that an execution budget (buffered rows,
 	// output rows, samples) was exhausted.
 	ErrBudgetExceeded = qerr.ErrBudgetExceeded
@@ -37,8 +45,9 @@ var (
 )
 
 // ErrorReason classifies err into a short stable keyword — "canceled",
-// "deadline", "budget", "candidates", "model", "internal" — or "" when
-// err is outside the taxonomy. The REPL uses it for one-word verdicts.
+// "deadline", "shutdown", "budget", "candidates", "model", "internal" —
+// or "" when err is outside the taxonomy. The REPL uses it for one-word
+// verdicts.
 func ErrorReason(err error) string { return qerr.Reason(err) }
 
 // Limits is the execution budget of one evaluation. The zero value

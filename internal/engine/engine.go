@@ -182,7 +182,7 @@ func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (r
 	defer qerr.Recover(&err)
 	popts := e.planOptions()
 	start := time.Now()
-	defer func() { e.report(stmt, popts.Parallelism, res, err, time.Since(start)) }()
+	defer func() { e.report(ctx, stmt, popts.Parallelism, res, err, time.Since(start)) }()
 	ctx, cancel := e.opts.Limits.WithContext(ctx)
 	defer cancel()
 	if e.cache == nil {
@@ -310,7 +310,10 @@ func (e *Engine) executeStmt(ctx context.Context, stmt *sqlparse.SelectStmt, pop
 
 // report feeds the process-level metrics registry and, when configured,
 // the structured query log. It runs for every query, success or failure.
-func (e *Engine) report(stmt *sqlparse.SelectStmt, par int, res *Result, err error, elapsed time.Duration) {
+// Serving metadata (tenant, admission-queue wait) travels in ctx via
+// metrics.ContextWithQueryInfo so the server shows up in the log without
+// the engine knowing about tenancy.
+func (e *Engine) report(ctx context.Context, stmt *sqlparse.SelectStmt, par int, res *Result, err error, elapsed time.Duration) {
 	reg := metrics.Default
 	reg.Counter("engine.queries").Inc()
 	reg.Timer("engine.exec").Observe(elapsed)
@@ -323,7 +326,7 @@ func (e *Engine) report(stmt *sqlparse.SelectStmt, par int, res *Result, err err
 		reg.Counter("engine.rows").Add(int64(rows))
 		reg.Gauge("engine.buffered_peak").SetMax(res.Stats.BufferedPeak)
 	}
-	e.opts.QueryLog.Record(metrics.QueryRecord{
+	rec := metrics.QueryRecord{
 		SQLHash:     metrics.HashQuery(stmt.SQL()),
 		Method:      "sql",
 		Rows:        rows,
@@ -331,7 +334,12 @@ func (e *Engine) report(stmt *sqlparse.SelectStmt, par int, res *Result, err err
 		Parallelism: par,
 		Cached:      cached,
 		Err:         qerr.LogReason(err),
-	})
+	}
+	if info, ok := metrics.QueryInfoFrom(ctx); ok {
+		rec.Tenant = info.Tenant
+		rec.QueuedMicros = info.QueuedMicros
+	}
+	e.opts.QueryLog.Record(rec)
 }
 
 // Explain returns the physical plan for sql, one operator per line.

@@ -39,9 +39,17 @@ type Limits struct {
 
 // WithContext derives a context carrying the Timeout (a no-op without
 // one). The returned cancel func must always be called.
+//
+// The deadline is installed with qerr.ErrDeadline as its cause, marking
+// it as the engine's own query timeout: qerr.FromContext reports a
+// marked deadline as ErrDeadline ("deadline", HTTP 504) and any other
+// termination — explicit cancel or a deadline the caller imposed — as
+// ErrCanceled ("canceled", HTTP 499), so the serving layer can tell who
+// gave up.
 func (l Limits) WithContext(ctx context.Context) (context.Context, context.CancelFunc) {
 	if l.Timeout > 0 {
-		return context.WithTimeout(ctx, l.Timeout)
+		return context.WithTimeoutCause(ctx, l.Timeout,
+			fmt.Errorf("exec: query timeout %v: %w", l.Timeout, qerr.ErrDeadline))
 	}
 	return context.WithCancel(ctx)
 }

@@ -11,6 +11,7 @@
 package metrics
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -261,6 +262,40 @@ type QueryRecord struct {
 	// Err is the one-word failure reason ("" on success): a qerr keyword
 	// such as "budget", or "error" for failures outside the taxonomy.
 	Err string `json:"err,omitempty"`
+	// Tenant names the serving-layer tenant the query ran for ("" for
+	// queries outside the server, e.g. the REPL or the Go API).
+	Tenant string `json:"tenant,omitempty"`
+	// QueuedMicros is the time the request waited in the server's
+	// admission queue before execution began, in microseconds.
+	QueuedMicros int64 `json:"queued_us,omitempty"`
+	// Shed reports that the server refused the query at admission (queue
+	// or memory watermark crossed, or draining); the query never executed
+	// and Micros records only the admission latency.
+	Shed bool `json:"shed,omitempty"`
+}
+
+// QueryInfo is per-request serving metadata the server threads through
+// the query context so the engine's query-log record can carry it: which
+// tenant the query ran for and how long it waited for admission.
+type QueryInfo struct {
+	Tenant       string
+	QueuedMicros int64
+}
+
+// queryInfoKey keys QueryInfo in a context.
+type queryInfoKey struct{}
+
+// ContextWithQueryInfo returns a context carrying info; the engine's
+// per-query report reads it back with QueryInfoFrom.
+func ContextWithQueryInfo(ctx context.Context, info QueryInfo) context.Context {
+	return context.WithValue(ctx, queryInfoKey{}, info)
+}
+
+// QueryInfoFrom extracts the serving metadata installed by
+// ContextWithQueryInfo, reporting ok=false when the context carries none.
+func QueryInfoFrom(ctx context.Context) (QueryInfo, bool) {
+	info, ok := ctx.Value(queryInfoKey{}).(QueryInfo)
+	return info, ok
 }
 
 // QueryLog serializes QueryRecords as JSON lines onto a writer. Record

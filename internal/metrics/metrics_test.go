@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
@@ -124,5 +125,47 @@ func TestQueryLogJSONLines(t *testing.T) {
 	}
 	if r1.Err != "budget" {
 		t.Errorf("line 1 err = %q, want budget", r1.Err)
+	}
+}
+
+// The serving-layer fields (tenant, queued_us, shed) must round-trip
+// through the JSON line and stay absent from records written outside the
+// server, so pre-existing log consumers see unchanged lines.
+func TestQueryLogServingFields(t *testing.T) {
+	var buf strings.Builder
+	l := NewQueryLog(&buf)
+	l.Record(QueryRecord{SQLHash: "abc", Method: "sql", Tenant: "acme", QueuedMicros: 1500, Shed: true, Err: "shed"})
+	l.Record(QueryRecord{SQLHash: "def", Method: "sql"})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], `"tenant":"acme"`) ||
+		!strings.Contains(lines[0], `"queued_us":1500`) ||
+		!strings.Contains(lines[0], `"shed":true`) {
+		t.Errorf("serving fields missing from %s", lines[0])
+	}
+	for _, key := range []string{"tenant", "queued_us", "shed"} {
+		if strings.Contains(lines[1], key) {
+			t.Errorf("non-server record leaked %q: %s", key, lines[1])
+		}
+	}
+	var r0 QueryRecord
+	if err := json.Unmarshal([]byte(lines[0]), &r0); err != nil {
+		t.Fatalf("line 0 invalid: %v", err)
+	}
+	if r0.Tenant != "acme" || r0.QueuedMicros != 1500 || !r0.Shed {
+		t.Errorf("round-trip = %+v", r0)
+	}
+}
+
+func TestQueryInfoContext(t *testing.T) {
+	if _, ok := QueryInfoFrom(context.Background()); ok {
+		t.Error("empty context should carry no query info")
+	}
+	ctx := ContextWithQueryInfo(context.Background(), QueryInfo{Tenant: "acme", QueuedMicros: 7})
+	info, ok := QueryInfoFrom(ctx)
+	if !ok || info.Tenant != "acme" || info.QueuedMicros != 7 {
+		t.Errorf("info = %+v, ok = %v", info, ok)
 	}
 }

@@ -4,8 +4,12 @@
 // resource exhaustion and termination through these sentinels so callers
 // dispatch with errors.Is instead of string matching:
 //
-//	ErrCanceled          the caller's context was canceled
-//	ErrDeadline          the context deadline (query timeout) passed
+//	ErrCanceled          the caller gave up: its context was canceled, or
+//	                     a deadline the caller itself imposed passed
+//	ErrDeadline          the engine's own query timeout (exec.Limits.Timeout)
+//	                     passed
+//	ErrShutdown          the serving process canceled the query while
+//	                     draining for shutdown
 //	ErrBudgetExceeded    an exec.Limits budget (buffered rows, output
 //	                     rows, samples) was exhausted
 //	ErrTooManyCandidates the candidate-database count exceeds the
@@ -34,6 +38,7 @@ import (
 var (
 	ErrCanceled          = errors.New("query canceled")
 	ErrDeadline          = errors.New("query deadline exceeded")
+	ErrShutdown          = errors.New("query aborted by server shutdown")
 	ErrBudgetExceeded    = errors.New("execution budget exceeded")
 	ErrTooManyCandidates = errors.New("too many candidate databases")
 	ErrBadModel          = errors.New("invalid dirty-database model")
@@ -41,29 +46,40 @@ var (
 )
 
 // FromContext maps a context's termination state onto the taxonomy: nil
-// while the context is live, ErrDeadline-wrapped after a timeout,
-// ErrCanceled-wrapped after cancellation. The original context error
-// stays reachable through errors.Is as well.
+// while the context is live, a taxonomy error afterwards. The original
+// context error stays reachable through errors.Is as well.
+//
+// Attribution is cause-aware (the 499-vs-504 split the serving layer
+// depends on): whoever terminates a context can install a taxonomy error
+// as its cause — exec.Limits.WithContext marks its own deadline with
+// ErrDeadline, a draining server cancels with ErrShutdown — and that
+// cause is reported directly. Without a taxonomy cause the termination
+// is attributed to the caller and reported as ErrCanceled, *including* a
+// bare deadline: a deadline the engine did not set is the caller's own
+// clock expiring, which is the caller giving up exactly like an explicit
+// cancel. Only the engine's configured query timeout reports ErrDeadline.
 func FromContext(ctx context.Context) error {
-	switch err := ctx.Err(); {
-	case err == nil:
+	err := ctx.Err()
+	if err == nil {
 		return nil
-	case errors.Is(err, context.DeadlineExceeded):
-		return fmt.Errorf("qerr: %w: %w", ErrDeadline, err)
-	default:
-		return fmt.Errorf("qerr: %w: %w", ErrCanceled, err)
 	}
+	if cause := context.Cause(ctx); cause != nil && Reason(cause) != "" {
+		return fmt.Errorf("qerr: %w: %w", cause, err)
+	}
+	return fmt.Errorf("qerr: %w: %w", ErrCanceled, err)
 }
 
 // Reason classifies err into a short stable keyword for user-facing
-// display — "canceled", "deadline", "budget", "candidates", "model",
-// "internal" — or "" when err is outside the taxonomy.
+// display — "canceled", "deadline", "shutdown", "budget", "candidates",
+// "model", "internal" — or "" when err is outside the taxonomy.
 func Reason(err error) string {
 	switch {
 	case err == nil:
 		return ""
 	case errors.Is(err, ErrDeadline):
 		return "deadline"
+	case errors.Is(err, ErrShutdown):
+		return "shutdown"
 	case errors.Is(err, ErrCanceled):
 		return "canceled"
 	case errors.Is(err, ErrBudgetExceeded):

@@ -20,12 +20,60 @@ func TestFromContext(t *testing.T) {
 		t.Errorf("canceled: %v", err)
 	}
 	// The zero time is always in the past, so the deadline is already
-	// exceeded when the context is created.
+	// exceeded when the context is created. A deadline the engine did
+	// not mark is the caller's own clock: it classifies as the caller
+	// giving up (ErrCanceled), with the deadline error still reachable.
 	dctx, dcancel := context.WithDeadline(context.Background(), time.Time{})
 	defer dcancel()
 	err = FromContext(dctx)
-	if !errors.Is(err, ErrDeadline) || !errors.Is(err, context.DeadlineExceeded) {
-		t.Errorf("deadline: %v", err)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("caller deadline: %v", err)
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Errorf("caller deadline classified as the engine's: %v", err)
+	}
+}
+
+// Regression for the 499-vs-504 split: a client canceling (or timing
+// out on its own clock) must stay distinguishable from the engine's
+// configured query timeout and from a server draining for shutdown —
+// the three cases an HTTP front end maps to 499, 504 and 503.
+func TestFromContextCauseSplit(t *testing.T) {
+	// Engine-marked deadline (the exec.Limits.WithContext convention):
+	// cause carries ErrDeadline → reason "deadline".
+	mctx, mcancel := context.WithTimeoutCause(context.Background(), 0,
+		fmt.Errorf("query timeout: %w", ErrDeadline))
+	defer mcancel()
+	<-mctx.Done()
+	if err := FromContext(mctx); Reason(err) != "deadline" || !errors.Is(err, ErrDeadline) {
+		t.Errorf("marked deadline: reason %q, err %v", Reason(err), err)
+	}
+
+	// Client cancellation → reason "canceled".
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	if err := FromContext(cctx); Reason(err) != "canceled" {
+		t.Errorf("client cancel: reason %q", Reason(err))
+	}
+
+	// Client-imposed deadline → also "canceled": the client gave up.
+	dctx, dcancel := context.WithTimeout(context.Background(), 0)
+	defer dcancel()
+	<-dctx.Done()
+	if err := FromContext(dctx); Reason(err) != "canceled" {
+		t.Errorf("client deadline: reason %q", Reason(err))
+	}
+
+	// Server drain: cancellation with ErrShutdown as the cause →
+	// reason "shutdown", distinct from both of the above.
+	sctx, scancel := context.WithCancelCause(context.Background())
+	scancel(ErrShutdown)
+	err := FromContext(sctx)
+	if Reason(err) != "shutdown" || !errors.Is(err, ErrShutdown) || !errors.Is(err, context.Canceled) {
+		t.Errorf("drain cancel: reason %q, err %v", Reason(err), err)
+	}
+	if errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline) {
+		t.Errorf("drain cancel leaked into canceled/deadline: %v", err)
 	}
 }
 
@@ -37,6 +85,7 @@ func TestReason(t *testing.T) {
 		{nil, ""},
 		{ErrCanceled, "canceled"},
 		{ErrDeadline, "deadline"},
+		{fmt.Errorf("wrapped: %w", ErrShutdown), "shutdown"},
 		{fmt.Errorf("wrapped: %w", ErrBudgetExceeded), "budget"},
 		{fmt.Errorf("wrapped: %w", ErrTooManyCandidates), "candidates"},
 		{ErrBadModel, "model"},
@@ -54,7 +103,7 @@ func TestIsResource(t *testing.T) {
 	if !IsResource(fmt.Errorf("x: %w", ErrBudgetExceeded)) || !IsResource(ErrTooManyCandidates) {
 		t.Error("resource errors not recognized")
 	}
-	if IsResource(ErrCanceled) || IsResource(ErrDeadline) || IsResource(nil) {
+	if IsResource(ErrCanceled) || IsResource(ErrDeadline) || IsResource(ErrShutdown) || IsResource(nil) {
 		t.Error("non-degradable errors classified as resource")
 	}
 }

@@ -1,0 +1,226 @@
+package server
+
+// The overload contract, hammered concurrently (run under -race in CI):
+// past the admission watermark the server sheds instead of queuing
+// unboundedly, every response carries a status from the qerr→HTTP table,
+// the queue-depth high-water mark never exceeds MaxQueue, and a drain
+// afterwards leaves no goroutines behind.
+
+import (
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"conquer/internal/metrics"
+)
+
+// validStatuses is the full image of the status table: the only codes an
+// overloaded server is allowed to answer with.
+var validStatuses = map[int]bool{
+	200: true, 400: true, 401: true, 413: true, 422: true,
+	429: true, 499: true, 500: true, 503: true, 504: true,
+}
+
+func TestOverloadSheds(t *testing.T) {
+	store := bigStore(t, 200)
+	store.SetInjector(slowInjector{perRow: 200 * time.Microsecond}) // ~40ms per scan
+	reg := metrics.NewRegistry()
+	cfg := Config{
+		Tenants:       []TenantConfig{{Name: "acme", Key: "acme-key", Preset: "standard"}},
+		MaxConcurrent: 2,
+		MaxQueue:      3,
+		DrainTimeout:  5 * time.Second,
+		Registry:      reg,
+	}
+	srv, err := New(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	const clients = 40 // 8× the queue+slot capacity: a hard overload
+	type outcome struct {
+		code       int
+		retryAfter string
+		body       string
+	}
+	results := make(chan outcome, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := doJSON(t, srv, "POST", "/v1/query", "acme-key",
+				queryRequest{SQL: "select id from big"})
+			results <- outcome{rec.Code, rec.Header().Get("Retry-After"), rec.Body.String()}
+		}()
+	}
+	wg.Wait()
+	close(results)
+
+	var ok, shed int
+	for r := range results {
+		if !validStatuses[r.code] {
+			t.Errorf("status %d outside the qerr→HTTP table: %s", r.code, r.body)
+		}
+		switch r.code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retryAfter == "" {
+				t.Errorf("429 without Retry-After: %s", r.body)
+			}
+			if !strings.Contains(r.body, `"reason":"shed"`) {
+				t.Errorf("429 body missing shed reason: %s", r.body)
+			}
+		default:
+			t.Errorf("unexpected status %d under pure overload: %s", r.code, r.body)
+		}
+	}
+	if ok == 0 {
+		t.Error("overload starved every request; admitted work should still finish")
+	}
+	if shed == 0 {
+		t.Errorf("%d clients against capacity 5 shed nothing", clients)
+	}
+	if ok+shed != clients {
+		t.Errorf("ok=%d shed=%d, want %d total", ok, shed, clients)
+	}
+
+	// The queue-depth high-water mark is the bounded-queue proof: it
+	// counts admitted waiters only, never the shed overflow.
+	if peak := reg.Gauge("server.queue_peak").Load(); peak > int64(cfg.MaxQueue) {
+		t.Errorf("queue peak %d exceeded MaxQueue %d", peak, cfg.MaxQueue)
+	}
+	if admitted := reg.Counter("server.admitted").Load(); admitted != int64(ok) {
+		t.Errorf("server.admitted = %d, want %d", admitted, ok)
+	}
+	if s := reg.Counter("server.shed").Load(); s != int64(shed) {
+		t.Errorf("server.shed = %d, want %d", s, shed)
+	}
+	if inflight := reg.Gauge("server.inflight").Load(); inflight != 0 {
+		t.Errorf("server.inflight = %d after all requests returned", inflight)
+	}
+
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("drain after overload: %v", err)
+	}
+	// No goroutine leaks: give the runtime a moment to retire handler
+	// stacks, then require the count back near the baseline.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= goroutinesBefore+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: %d before, %d after drain",
+				goroutinesBefore, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Shed requests are logged with shed=true and the tenant attached, so
+// operators can attribute overload to its source.
+func TestShedQueryLog(t *testing.T) {
+	store := bigStore(t, 200)
+	store.SetInjector(slowInjector{perRow: 500 * time.Microsecond})
+	var logBuf strings.Builder
+	cfg := Config{
+		Tenants:       []TenantConfig{{Name: "acme", Key: "acme-key", Preset: "standard"}},
+		MaxConcurrent: 1,
+		MaxQueue:      1,
+		Registry:      metrics.NewRegistry(),
+		QueryLog:      metrics.NewQueryLog(&logBuf),
+	}
+	srv, err := New(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 10
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id from big"})
+		}()
+	}
+	wg.Wait()
+	shedLines := 0
+	for _, line := range strings.Split(strings.TrimSpace(logBuf.String()), "\n") {
+		if strings.Contains(line, `"shed":true`) {
+			shedLines++
+			if !strings.Contains(line, `"tenant":"acme"`) || !strings.Contains(line, `"err":"shed"`) {
+				t.Errorf("shed log line missing fields: %s", line)
+			}
+		}
+	}
+	if shedLines == 0 {
+		t.Error("no shed=true lines in the query log under overload")
+	}
+}
+
+// Per-tenant concurrency caps hold even when the global pool has room: a
+// capped tenant's surplus queues (and sheds), it cannot crowd the pool.
+func TestTenantConcurrencyCap(t *testing.T) {
+	store := bigStore(t, 200)
+	store.SetInjector(slowInjector{perRow: 200 * time.Microsecond})
+	reg := metrics.NewRegistry()
+	cfg := Config{
+		Tenants: []TenantConfig{
+			{Name: "capped", Key: "capped-key", Preset: "standard", MaxConcurrent: 1},
+			{Name: "free", Key: "free-key", Preset: "standard"},
+		},
+		MaxConcurrent: 4,
+		MaxQueue:      2,
+		Registry:      reg,
+	}
+	srv, err := New(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	codes := make(chan int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := doJSON(t, srv, "POST", "/v1/query", "capped-key",
+				queryRequest{SQL: "select id from big"})
+			codes <- rec.Code
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	var ok, shed int
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d", c)
+		}
+	}
+	// With a tenant cap of 1 and a queue of 2, at most 3 of the 8 can be
+	// in the system at once; the burst must shed some.
+	if shed == 0 {
+		t.Error("capped tenant burst shed nothing")
+	}
+	if ok == 0 {
+		t.Error("capped tenant starved entirely")
+	}
+	// A free tenant still has the rest of the pool.
+	if rec := doJSON(t, srv, "POST", "/v1/query", "free-key",
+		queryRequest{SQL: "select id from big"}); rec.Code != http.StatusOK {
+		t.Errorf("free tenant: status = %d: %s", rec.Code, rec.Body.String())
+	}
+}

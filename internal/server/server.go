@@ -1,0 +1,582 @@
+// Package server is the multi-tenant serving layer over the query engine
+// (DESIGN.md §13): a long-lived HTTP front end that maps API keys onto
+// per-tenant execution profiles, applies admission control with overload
+// shedding ahead of the engines, translates the qerr taxonomy into a
+// stable HTTP status table, and drains gracefully on shutdown — stop
+// admitting, let in-flight work finish inside a deadline, then cancel
+// what remains with qerr.ErrShutdown.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"conquer/internal/core"
+	"conquer/internal/dirty"
+	"conquer/internal/engine"
+	"conquer/internal/exec"
+	"conquer/internal/faultinject"
+	"conquer/internal/metrics"
+	"conquer/internal/qerr"
+	"conquer/internal/sqlparse"
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+// maxBodyBytes bounds request bodies; a query text has no business being
+// larger.
+const maxBodyBytes = 1 << 20
+
+// defaultConcurrency is the global slot count when Config leaves
+// MaxConcurrent zero: one executing query per processor.
+func defaultConcurrency() int { return runtime.GOMAXPROCS(0) }
+
+// tenant is one API key's execution profile, bound to its own engine
+// (and, when faults are armed, its own clone of the database).
+type tenant struct {
+	name    string
+	limits  exec.Limits
+	slots   chan struct{} // per-tenant concurrency cap; nil = uncapped
+	eng     *engine.Engine
+	ddb     *dirty.DB
+	faulted bool
+}
+
+// Server is the HTTP serving layer. Create with New, mount as an
+// http.Handler, stop with Drain.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	tenants  map[string]*tenant // API key → tenant
+	reg      *metrics.Registry
+	qlog     *metrics.QueryLog
+	maxQueue int
+
+	// baseCtx is canceled (cause qerr.ErrShutdown) when the drain
+	// deadline passes; every request context is linked to it.
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+
+	slots    chan struct{} // global execution slots
+	queued   atomic.Int64
+	inflight atomic.Int64
+	cost     costModel
+
+	draining atomic.Bool
+	drainCh  chan struct{} // closed when drain begins: wakes queued waiters
+	drainMu  sync.Mutex
+	active   int           // live request handlers, guarded by drainMu
+	idle     chan struct{} // closed when draining and active hits 0
+
+	admitted      *metrics.Counter
+	shed          *metrics.Counter
+	inflightGauge *metrics.Gauge
+	queuePeak     *metrics.Gauge
+}
+
+// New builds a server over store from cfg. Tenants without fault rules
+// share store; tenants with fault rules get a private clone with a
+// faultinject schedule installed, so injected storage failures cannot
+// leak into healthy tenants.
+func New(store *storage.DB, cfg Config) (*Server, error) {
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("server: config declares no tenants")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = defaultConcurrency()
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.Default
+	}
+	baseCtx, baseCancel := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:           cfg,
+		mux:           http.NewServeMux(),
+		tenants:       make(map[string]*tenant, len(cfg.Tenants)),
+		reg:           reg,
+		qlog:          cfg.QueryLog,
+		maxQueue:      cfg.MaxQueue,
+		baseCtx:       baseCtx,
+		baseCancel:    baseCancel,
+		slots:         make(chan struct{}, cfg.MaxConcurrent),
+		drainCh:       make(chan struct{}),
+		idle:          make(chan struct{}),
+		admitted:      reg.Counter("server.admitted"),
+		shed:          reg.Counter("server.shed"),
+		inflightGauge: reg.Gauge("server.inflight"),
+		queuePeak:     reg.Gauge("server.queue_peak"),
+	}
+	for _, tc := range cfg.Tenants {
+		if tc.Name == "" || tc.Key == "" {
+			baseCancel(nil)
+			return nil, fmt.Errorf("server: tenant needs both name and key (got name=%q)", tc.Name)
+		}
+		if _, dup := s.tenants[tc.Key]; dup {
+			baseCancel(nil)
+			return nil, fmt.Errorf("server: duplicate API key for tenant %q", tc.Name)
+		}
+		lim := exec.Limits{}
+		if tc.Limits != nil {
+			lim = *tc.Limits
+		} else {
+			var err error
+			lim, err = Preset(tc.Preset)
+			if err != nil {
+				baseCancel(nil)
+				return nil, fmt.Errorf("server: tenant %q: %w", tc.Name, err)
+			}
+		}
+		if tc.CacheBytes > 0 {
+			lim.MaxCacheBytes = tc.CacheBytes
+		}
+		tstore := store
+		if len(tc.Faults) > 0 {
+			clone, err := store.Clone()
+			if err != nil {
+				baseCancel(nil)
+				return nil, fmt.Errorf("server: cloning store for faulted tenant %q: %w", tc.Name, err)
+			}
+			rules := make([]faultinject.Rule, len(tc.Faults))
+			for i, fr := range tc.Faults {
+				rules[i] = fr.rule()
+			}
+			clone.SetInjector(faultinject.New(rules...))
+			tstore = clone
+		}
+		tn := &tenant{
+			name:    tc.Name,
+			limits:  lim,
+			faulted: len(tc.Faults) > 0,
+			eng: engine.NewWithOptions(tstore, engine.Options{
+				Limits:      lim,
+				Parallelism: cfg.Parallelism,
+				QueryLog:    cfg.QueryLog,
+			}),
+			ddb: dirty.New(tstore),
+		}
+		if tc.MaxConcurrent > 0 {
+			tn.slots = make(chan struct{}, tc.MaxConcurrent)
+		}
+		s.tenants[tc.Key] = tn
+	}
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/clean", s.handleClean)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the server's routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// enter registers a live request handler, refusing once drain has begun.
+func (s *Server) enter() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.active++
+	return true
+}
+
+// exit retires a live request handler, signalling the drain waiter when
+// the last one leaves.
+func (s *Server) exit() {
+	s.drainMu.Lock()
+	s.active--
+	if s.active == 0 && s.draining.Load() {
+		s.closeIdleLocked()
+	}
+	s.drainMu.Unlock()
+}
+
+// closeIdleLocked closes the idle channel once; drainMu must be held.
+func (s *Server) closeIdleLocked() {
+	select {
+	case <-s.idle:
+	default:
+		close(s.idle)
+	}
+}
+
+// Drain gracefully shuts the server down: new work is refused with 503
+// immediately (including requests already queued for a slot), in-flight
+// queries get cfg.DrainTimeout to finish, and whatever is still running
+// after that is canceled with qerr.ErrShutdown and given the same window
+// again to unwind. Drain is idempotent and safe to call concurrently; it
+// returns an error only if a request survived cancellation.
+func (s *Server) Drain() error {
+	s.drainMu.Lock()
+	if !s.draining.Load() {
+		s.draining.Store(true)
+		close(s.drainCh)
+		if s.active == 0 {
+			s.closeIdleLocked()
+		}
+	}
+	s.drainMu.Unlock()
+
+	soft := time.NewTimer(s.cfg.DrainTimeout)
+	defer soft.Stop()
+	select {
+	case <-s.idle:
+		s.baseCancel(qerr.ErrShutdown)
+		return nil
+	case <-soft.C:
+	}
+	// The soft window passed: cancel in-flight work and give it the same
+	// window again to observe the cancellation and unwind.
+	s.baseCancel(qerr.ErrShutdown)
+	hard := time.NewTimer(s.cfg.DrainTimeout)
+	defer hard.Stop()
+	select {
+	case <-s.idle:
+		return nil
+	case <-hard.C:
+		return fmt.Errorf("server: drain timed out with requests still in flight")
+	}
+}
+
+// Draining reports whether drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// authenticate resolves the request's API key ("Authorization: Bearer
+// <key>" or "X-Api-Key: <key>") to its tenant.
+func (s *Server) authenticate(r *http.Request) (*tenant, error) {
+	key := r.Header.Get("X-Api-Key")
+	if key == "" {
+		if h := r.Header.Get("Authorization"); strings.HasPrefix(h, "Bearer ") {
+			key = strings.TrimPrefix(h, "Bearer ")
+		}
+	}
+	tn, ok := s.tenants[key]
+	if key == "" || !ok {
+		return nil, ErrUnauthorized
+	}
+	return tn, nil
+}
+
+// queryRequest is the body of POST /v1/query and /v1/clean.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// Samples and Seed apply to /v1/clean only: Monte-Carlo sample count
+	// (tenant default when 0) and RNG seed for reproducible estimates.
+	Samples int   `json:"samples,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+}
+
+// QueryStats is the accounting block attached to every successful
+// response.
+type QueryStats struct {
+	Rows         int   `json:"rows"`
+	ExecMicros   int64 `json:"exec_us"`
+	QueuedMicros int64 `json:"queued_us"`
+	Parallelism  int   `json:"par,omitempty"`
+	Cached       bool  `json:"cached,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query.
+type QueryResponse struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]any    `json:"rows"`
+	Stats   QueryStats `json:"stats"`
+}
+
+// CleanAnswer is one clean answer: the row, its probability of being in
+// the answer of every clean database, and the standard error when the
+// probability is a Monte-Carlo estimate.
+type CleanAnswer struct {
+	Values []any   `json:"values"`
+	Prob   float64 `json:"prob"`
+	StdErr float64 `json:"stderr,omitempty"`
+}
+
+// CleanResponse is the body of a successful POST /v1/clean.
+type CleanResponse struct {
+	Columns  []string      `json:"columns"`
+	Answers  []CleanAnswer `json:"answers"`
+	Method   string        `json:"method"`
+	Degraded []string      `json:"degraded,omitempty"`
+	Samples  int           `json:"samples,omitempty"`
+	StdErr   float64       `json:"stderr,omitempty"`
+	Stats    QueryStats    `json:"stats"`
+}
+
+// decodeRequest parses the JSON body, returning an ErrUnparsable-shaped
+// error (mapped to 400) on malformed input.
+func decodeRequest(r *http.Request) (queryRequest, error) {
+	var req queryRequest
+	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return req, fmt.Errorf("server: invalid request body: %w", err)
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		return req, fmt.Errorf("server: request body needs a non-empty \"sql\" field")
+	}
+	return req, nil
+}
+
+// requestContext derives the per-request context: cancelable with a
+// cause, and linked to baseCtx so a drain hard-cancel marks in-flight
+// work with qerr.ErrShutdown (surfacing as 503, not 499).
+func (s *Server) requestContext(r *http.Request) (context.Context, func()) {
+	ctx, cancel := context.WithCancelCause(r.Context())
+	stop := context.AfterFunc(s.baseCtx, func() { cancel(qerr.ErrShutdown) })
+	return ctx, func() {
+		stop()
+		cancel(nil)
+	}
+}
+
+// logRefusal writes the query-log line for a request refused at
+// admission; executed queries are logged by the engine itself.
+func (s *Server) logRefusal(tn *tenant, sql, reason string) {
+	s.qlog.Record(metrics.QueryRecord{
+		SQLHash: metrics.HashQuery(sql),
+		Method:  "sql",
+		Err:     reason,
+		Tenant:  tn.name,
+		Shed:    reason == "shed" || reason == "shutdown",
+	})
+}
+
+// handleQuery runs a plain SQL query under the tenant's limits.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.authenticate(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	req, err := decodeRequest(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if !s.enter() {
+		_, reason := s.writeError(w, ErrDraining)
+		s.logRefusal(tn, req.SQL, reason)
+		return
+	}
+	defer s.exit()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	tk, err := s.admit(ctx, tn)
+	if err != nil {
+		_, reason := s.writeError(w, err)
+		s.logRefusal(tn, req.SQL, reason)
+		return
+	}
+	defer tk.release()
+	qctx := metrics.ContextWithQueryInfo(ctx, metrics.QueryInfo{
+		Tenant:       tn.name,
+		QueuedMicros: tk.queued.Microseconds(),
+	})
+	start := time.Now()
+	res, err := tn.eng.QueryCtx(qctx, req.SQL)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.cost.observe(res.Stats.BufferedPeak, time.Since(start))
+	writeJSON(w, QueryResponse{
+		Columns: res.Columns,
+		Rows:    rowsToAny(res.Rows),
+		Stats: QueryStats{
+			Rows:         res.Stats.Rows,
+			ExecMicros:   res.Stats.ExecTime.Microseconds(),
+			QueuedMicros: tk.queued.Microseconds(),
+			Parallelism:  res.Stats.Parallelism,
+			Cached:       res.Stats.Cached,
+		},
+	})
+}
+
+// handleClean evaluates a clean-answer query through the degradation
+// ladder under the tenant's limits.
+func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
+	tn, err := s.authenticate(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	req, err := decodeRequest(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	stmt, err := sqlparse.Parse(req.SQL)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if !s.enter() {
+		_, reason := s.writeError(w, ErrDraining)
+		s.logRefusal(tn, req.SQL, reason)
+		return
+	}
+	defer s.exit()
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	tk, err := s.admit(ctx, tn)
+	if err != nil {
+		_, reason := s.writeError(w, err)
+		s.logRefusal(tn, req.SQL, reason)
+		return
+	}
+	defer tk.release()
+	qctx := metrics.ContextWithQueryInfo(ctx, metrics.QueryInfo{
+		Tenant:       tn.name,
+		QueuedMicros: tk.queued.Microseconds(),
+	})
+	start := time.Now()
+	res, err := core.Eval(qctx, tn.ddb, stmt, core.EvalOptions{
+		Limits:  tn.limits,
+		Samples: req.Samples,
+		Seed:    req.Seed,
+	})
+	elapsed := time.Since(start)
+	// core.Eval runs its SQL through internal engines with no query log
+	// attached, so the server writes the clean evaluation's log line.
+	rec := metrics.QueryRecord{
+		SQLHash:      metrics.HashQuery(req.SQL),
+		Micros:       elapsed.Microseconds(),
+		Tenant:       tn.name,
+		QueuedMicros: tk.queued.Microseconds(),
+	}
+	if err != nil {
+		rec.Method = "eval"
+		rec.Err = reasonFor(err)
+		s.qlog.Record(rec)
+		s.writeError(w, err)
+		return
+	}
+	rec.Method = res.Method.String()
+	rec.Rows = len(res.Answers)
+	s.qlog.Record(rec)
+	s.cost.observe(res.Stats.BufferedPeak, elapsed)
+	degraded := make([]string, len(res.Degraded))
+	for i, d := range res.Degraded {
+		degraded[i] = d.String()
+	}
+	answers := make([]CleanAnswer, len(res.Answers))
+	for i, a := range res.Answers {
+		answers[i] = CleanAnswer{Values: valuesToAny(a.Values), Prob: a.Prob, StdErr: a.StdErr}
+	}
+	writeJSON(w, CleanResponse{
+		Columns:  res.Columns,
+		Answers:  answers,
+		Method:   res.Method.String(),
+		Degraded: degraded,
+		Samples:  res.Samples,
+		StdErr:   res.StdErr,
+		Stats: QueryStats{
+			Rows:         len(res.Answers),
+			ExecMicros:   elapsed.Microseconds(),
+			QueuedMicros: tk.queued.Microseconds(),
+		},
+	})
+}
+
+// handleHealth reports liveness: 200 while serving, 503 once draining so
+// load balancers stop routing here during shutdown.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("{\"status\":\"draining\"}\n"))
+		return
+	}
+	_, _ = w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// statsResponse is the body of GET /v1/stats.
+type statsResponse struct {
+	Admitted  int64    `json:"admitted"`
+	Shed      int64    `json:"shed"`
+	InFlight  int64    `json:"inflight"`
+	Queued    int64    `json:"queued"`
+	QueuePeak int64    `json:"queue_peak"`
+	Draining  bool     `json:"draining"`
+	Tenants   []string `json:"tenants"`
+}
+
+// handleStats exposes the serving counters for load tests and operators.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	names := make([]string, 0, len(s.tenants))
+	for _, tn := range s.tenants {
+		names = append(names, tn.name)
+	}
+	sort.Strings(names)
+	writeJSON(w, statsResponse{
+		Admitted:  s.admitted.Load(),
+		Shed:      s.shed.Load(),
+		InFlight:  s.inflight.Load(),
+		Queued:    s.queued.Load(),
+		QueuePeak: s.queuePeak.Load(),
+		Draining:  s.draining.Load(),
+		Tenants:   names,
+	})
+}
+
+// writeJSON renders a 200 with a JSON body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// valueToAny converts an engine value into its JSON-encodable native
+// form. This is the single serialization point for result data: the
+// byte-identity guarantee (server response == direct engine execution)
+// holds because both sides of the comparison pass through it.
+func valueToAny(v value.Value) any {
+	switch v.Kind() {
+	case value.KindInt:
+		return v.AsInt()
+	case value.KindFloat:
+		return v.AsFloat()
+	case value.KindString:
+		return v.AsString()
+	case value.KindBool:
+		return v.AsBool()
+	default:
+		return nil
+	}
+}
+
+// valuesToAny converts one row.
+func valuesToAny(vs []value.Value) []any {
+	out := make([]any, len(vs))
+	for i, v := range vs {
+		out[i] = valueToAny(v)
+	}
+	return out
+}
+
+// rowsToAny converts a result's rows.
+func rowsToAny(rows [][]value.Value) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		out[i] = valuesToAny(r)
+	}
+	return out
+}

@@ -1,0 +1,569 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"conquer/internal/engine"
+	"conquer/internal/exec"
+	"conquer/internal/metrics"
+	"conquer/internal/schema"
+	"conquer/internal/storage"
+	"conquer/internal/value"
+)
+
+// bigStore builds a clean table of n rows — enough for the executor's
+// amortized context poll (every 256 rows) to actually fire, which the
+// timeout and cancellation tests depend on.
+func bigStore(t testing.TB, n int) *storage.DB {
+	t.Helper()
+	store := storage.NewDB()
+	rel := schema.MustRelation("big",
+		schema.Column{Name: "id", Type: value.KindInt},
+		schema.Column{Name: "val", Type: value.KindFloat},
+	)
+	tab := store.MustCreateTable(rel)
+	for i := 0; i < n; i++ {
+		tab.MustInsert(value.Int(int64(i)), value.Float(float64(i%97)))
+	}
+	return store
+}
+
+// slowInjector stretches query latency by sleeping per scanned row —
+// the single-CPU-safe way to simulate slow queries: wall time grows
+// without burning the one core the test host has.
+type slowInjector struct{ perRow time.Duration }
+
+func (s slowInjector) Fail(_ string, op storage.Op) error {
+	if op == storage.OpScan {
+		time.Sleep(s.perRow)
+	}
+	return nil
+}
+
+// doJSON posts body to path with the given API key and returns the
+// recorder.
+func doJSON(t testing.TB, srv *Server, method, path, key string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	req := newJSONRequest(t, method, path, key, body)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	return rec
+}
+
+func newJSONRequest(t testing.TB, method, path, key string, body any) *http.Request {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal body: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	if key != "" {
+		req.Header.Set("X-Api-Key", key)
+	}
+	return req
+}
+
+func decodeError(t testing.TB, rec *httptest.ResponseRecorder) ErrorBody {
+	t.Helper()
+	var body ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error body not JSON: %v\n%s", err, rec.Body.String())
+	}
+	return body
+}
+
+func oneTenant(reg *metrics.Registry) Config {
+	return Config{
+		Tenants:  []TenantConfig{{Name: "acme", Key: "acme-key", Preset: "standard"}},
+		Registry: reg,
+	}
+}
+
+func TestAuth(t *testing.T) {
+	srv, err := New(bigStore(t, 10), oneTenant(metrics.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := queryRequest{SQL: "select id from big"}
+
+	rec := doJSON(t, srv, "POST", "/v1/query", "", body)
+	if rec.Code != http.StatusUnauthorized {
+		t.Errorf("no key: status = %d, want 401", rec.Code)
+	}
+	if b := decodeError(t, rec); b.Reason != "unauthorized" {
+		t.Errorf("no key: reason = %q", b.Reason)
+	}
+
+	rec = doJSON(t, srv, "POST", "/v1/query", "wrong-key", body)
+	if rec.Code != http.StatusUnauthorized {
+		t.Errorf("bad key: status = %d, want 401", rec.Code)
+	}
+
+	// Bearer form of the same key must also work.
+	req := newJSONRequest(t, "POST", "/v1/query", "", body)
+	req.Header.Set("Authorization", "Bearer acme-key")
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Errorf("bearer key: status = %d, want 200: %s", rr.Code, rr.Body.String())
+	}
+
+	rec = doJSON(t, srv, "POST", "/v1/query", "acme-key", body)
+	if rec.Code != http.StatusOK {
+		t.Errorf("good key: status = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv, err := New(bigStore(t, 10), oneTenant(metrics.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"malformed JSON", "{not json"},
+		{"empty sql", `{"sql": ""}`},
+		{"parse error", `{"sql": "selec id from big"}`},
+		{"unknown table", `{"sql": "select id from nope"}`},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest("POST", "/v1/query", strings.NewReader(tc.raw))
+		req.Header.Set("X-Api-Key", "acme-key")
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400: %s", tc.name, rec.Code, rec.Body.String())
+		}
+		if b := decodeError(t, rec); b.Reason != "invalid" {
+			t.Errorf("%s: reason = %q, want invalid", tc.name, b.Reason)
+		}
+	}
+}
+
+// TestStatusTable pins the complete reason → status mapping: a taxonomy
+// addition that forgets the serving layer must fail here, not surface as
+// a surprise 500 in production.
+func TestStatusTable(t *testing.T) {
+	want := map[string]int{
+		"":             200,
+		"invalid":      400,
+		"unauthorized": 401,
+		"candidates":   413,
+		"model":        422,
+		"shed":         429,
+		"budget":       429,
+		"canceled":     499,
+		"internal":     500,
+		"shutdown":     503,
+		"deadline":     504,
+		"never-heard":  500,
+	}
+	for reason, status := range want {
+		if got := StatusFor(reason); got != status {
+			t.Errorf("StatusFor(%q) = %d, want %d", reason, got, status)
+		}
+	}
+	for status := 100; status < 600; status++ {
+		retryable := status == 429 || status == 503
+		if Retryable(status) != retryable {
+			t.Errorf("Retryable(%d) = %v, want %v", status, Retryable(status), retryable)
+		}
+	}
+}
+
+// TestByteIdentity is the serving-layer soundness check: an admitted
+// query's rows, serialized by the server, must be byte-identical to the
+// same query run directly against the engine and serialized through the
+// same converter. Admission control may refuse work; it must never
+// change answers.
+func TestByteIdentity(t *testing.T) {
+	store := bigStore(t, 500)
+	srv, err := New(store, oneTenant(metrics.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"select id, val from big where val > 50",
+		"select val, count(*) from big group by val order by val",
+		"select sum(val) from big",
+	}
+	lim, err := Preset("standard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.NewWithOptions(store, engine.Options{Limits: lim})
+	for _, q := range queries {
+		rec := doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: q})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d: %s", q, rec.Code, rec.Body.String())
+		}
+		var got struct {
+			Columns []string        `json:"columns"`
+			Rows    json.RawMessage `json:"rows"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("%s: response not JSON: %v", q, err)
+		}
+		direct, err := eng.Query(q)
+		if err != nil {
+			t.Fatalf("%s: direct execution failed: %v", q, err)
+		}
+		want, err := json.Marshal(rowsToAny(direct.Rows))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got.Rows) != string(want) {
+			t.Errorf("%s:\nserver: %s\ndirect: %s", q, got.Rows, want)
+		}
+	}
+}
+
+// A client that has already hung up gets 499, whichever side of
+// admission the cancellation lands on.
+func TestClientCancel499(t *testing.T) {
+	srv, err := New(bigStore(t, 600), oneTenant(metrics.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := newJSONRequest(t, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id from big"}).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status = %d, want 499: %s", rec.Code, rec.Body.String())
+	}
+	if b := decodeError(t, rec); b.Reason != "canceled" {
+		t.Errorf("reason = %q, want canceled", b.Reason)
+	}
+	if rec.Header().Get("Retry-After") != "" {
+		t.Error("client cancellation must not invite a retry")
+	}
+}
+
+// The engine's own per-tenant timeout surfaces as 504 — attributed to
+// the server, not the client — and is not marked retryable.
+func TestServerDeadline504(t *testing.T) {
+	store := bigStore(t, 600)
+	store.SetInjector(slowInjector{perRow: 200 * time.Microsecond})
+	cfg := Config{
+		Tenants: []TenantConfig{{
+			Name: "acme", Key: "acme-key",
+			Limits: &exec.Limits{Timeout: 20 * time.Millisecond},
+		}},
+		Registry: metrics.NewRegistry(),
+	}
+	srv, err := New(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id from big"})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	if b := decodeError(t, rec); b.Reason != "deadline" {
+		t.Errorf("reason = %q, want deadline", b.Reason)
+	}
+	if rec.Header().Get("Retry-After") != "" {
+		t.Error("a deadline response must not invite a retry")
+	}
+}
+
+// An exhausted execution budget is a retryable resource condition: 429
+// with Retry-After.
+func TestBudget429(t *testing.T) {
+	cfg := Config{
+		Tenants: []TenantConfig{{
+			Name: "acme", Key: "acme-key",
+			Limits: &exec.Limits{MaxBufferedRows: 5},
+		}},
+		Registry: metrics.NewRegistry(),
+	}
+	srv, err := New(bigStore(t, 500), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id, val from big order by val"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	b := decodeError(t, rec)
+	if b.Reason != "budget" {
+		t.Errorf("reason = %q, want budget", b.Reason)
+	}
+	if rec.Header().Get("Retry-After") == "" || b.RetryAfterMS <= 0 {
+		t.Errorf("budget response missing retry hints: header=%q body=%+v",
+			rec.Header().Get("Retry-After"), b)
+	}
+}
+
+// Graceful drain: in-flight work finishes with 200, requests arriving
+// after drain begins get 503, health flips to draining, and Drain
+// returns cleanly inside the soft window.
+func TestDrainGraceful(t *testing.T) {
+	store := bigStore(t, 300)
+	store.SetInjector(slowInjector{perRow: 200 * time.Microsecond}) // ~60ms per scan
+	cfg := oneTenant(metrics.NewRegistry())
+	cfg.DrainTimeout = 5 * time.Second
+	srv, err := New(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var inflight *httptest.ResponseRecorder
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inflight = doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id from big"})
+	}()
+	time.Sleep(20 * time.Millisecond) // let it get past admission
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain() }()
+	time.Sleep(10 * time.Millisecond)
+
+	if rec := doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id from big"}); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain request: status = %d, want 503: %s", rec.Code, rec.Body.String())
+	} else if b := decodeError(t, rec); b.Reason != "shutdown" {
+		t.Errorf("post-drain request: reason = %q, want shutdown", b.Reason)
+	}
+	if rec := doJSON(t, srv, "GET", "/healthz", "", nil); rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status = %d, want 503", rec.Code)
+	}
+
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	if inflight.Code != http.StatusOK {
+		t.Errorf("in-flight query during graceful drain: status = %d, want 200: %s",
+			inflight.Code, inflight.Body.String())
+	}
+	// Drain is idempotent.
+	if err := srv.Drain(); err != nil {
+		t.Errorf("second drain: %v", err)
+	}
+}
+
+// Hard drain: when the soft window passes, in-flight work is canceled
+// with qerr.ErrShutdown and surfaces as 503 (not 499 — the client did
+// nothing wrong).
+func TestDrainCancelsInflight(t *testing.T) {
+	store := bigStore(t, 2000)
+	store.SetInjector(slowInjector{perRow: 200 * time.Microsecond}) // ~400ms per scan
+	cfg := oneTenant(metrics.NewRegistry())
+	cfg.DrainTimeout = 100 * time.Millisecond
+	srv, err := New(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rec *httptest.ResponseRecorder
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec = doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id from big"})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	wg.Wait()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled in-flight query: status = %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if b := decodeError(t, rec); b.Reason != "shutdown" {
+		t.Errorf("reason = %q, want shutdown", b.Reason)
+	}
+}
+
+// The projected-memory watermark sheds once the cost model has evidence
+// that another concurrent query would cross it.
+func TestMemoryWatermarkSheds(t *testing.T) {
+	store := bigStore(t, 200)
+	cfg := Config{
+		Tenants:             []TenantConfig{{Name: "acme", Key: "acme-key", Preset: "standard"}},
+		MaxConcurrent:       2,
+		MaxQueue:            50,
+		MemoryWatermarkRows: 300,
+		Registry:            metrics.NewRegistry(),
+	}
+	srv, err := New(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the cost model: a sort buffers all 200 rows, so the EWMA of
+	// buffered peaks lands at ~200 — one query fits under the 300-row
+	// watermark, two concurrent do not.
+	if rec := doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id, val from big order by val"}); rec.Code != http.StatusOK {
+		t.Fatalf("seed query: status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	store.SetInjector(slowInjector{perRow: 500 * time.Microsecond}) // hold the first query in flight
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id, val from big order by val"})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	rec := doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id, val from big order by val"})
+	wg.Wait()
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second concurrent query: status = %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	b := decodeError(t, rec)
+	if b.Reason != "shed" {
+		t.Errorf("reason = %q, want shed", b.Reason)
+	}
+	if !strings.Contains(b.Error, "watermark") {
+		t.Errorf("shed body should name the watermark: %q", b.Error)
+	}
+}
+
+// Sanity-check /v1/clean end to end over the paper's Figure 2 database,
+// including the query-log line the server writes for it.
+func TestCleanEndpoint(t *testing.T) {
+	var logBuf strings.Builder
+	qlog := metrics.NewQueryLog(&logBuf)
+	cfg := Config{
+		Tenants:  []TenantConfig{{Name: "acme", Key: "acme-key", Preset: "standard"}},
+		Registry: metrics.NewRegistry(),
+		QueryLog: qlog,
+	}
+	srv, err := New(figure2Store(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := doJSON(t, srv, "POST", "/v1/clean", "acme-key", queryRequest{SQL: "select id from customer where balance > 10000"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp CleanResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if len(resp.Answers) == 0 {
+		t.Fatal("no clean answers")
+	}
+	for _, a := range resp.Answers {
+		if a.Prob <= 0 || a.Prob > 1 {
+			t.Errorf("answer probability out of range: %+v", a)
+		}
+	}
+	if resp.Method == "" {
+		t.Error("response missing method")
+	}
+	line := strings.TrimSpace(logBuf.String())
+	if !strings.Contains(line, `"tenant":"acme"`) {
+		t.Errorf("clean query log line missing tenant: %s", line)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, err := New(bigStore(t, 10), oneTenant(metrics.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id from big"}); rec.Code != http.StatusOK {
+		t.Fatal(rec.Body.String())
+	}
+	rec := doJSON(t, srv, "GET", "/v1/stats", "", nil)
+	var stats statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("stats not JSON: %v", err)
+	}
+	if stats.Admitted != 1 || stats.InFlight != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if len(stats.Tenants) != 1 || stats.Tenants[0] != "acme" {
+		t.Errorf("tenants = %v", stats.Tenants)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	store := bigStore(t, 1)
+	if _, err := New(store, Config{Registry: metrics.NewRegistry()}); err == nil {
+		t.Error("no tenants should be rejected")
+	}
+	if _, err := New(store, Config{
+		Tenants:  []TenantConfig{{Name: "a", Key: "k"}, {Name: "b", Key: "k"}},
+		Registry: metrics.NewRegistry(),
+	}); err == nil {
+		t.Error("duplicate keys should be rejected")
+	}
+	if _, err := New(store, Config{
+		Tenants:  []TenantConfig{{Name: "a", Key: "k", Preset: "galactic"}},
+		Registry: metrics.NewRegistry(),
+	}); err == nil {
+		t.Error("unknown preset should be rejected")
+	}
+}
+
+func TestLoadTenants(t *testing.T) {
+	doc := `{"tenants": [
+		{"name": "acme", "key": "ak", "preset": "small", "max_concurrent": 2},
+		{"name": "beta", "key": "bk",
+		 "faults": [{"table": "big", "op": "scan", "n": 3, "error": "internal"}]}
+	]}`
+	tenants, err := LoadTenants(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 2 || tenants[0].Name != "acme" || tenants[1].Faults[0].Op != "scan" {
+		t.Errorf("parsed = %+v", tenants)
+	}
+	if _, err := LoadTenants(strings.NewReader(`{"tenants": []}`)); err == nil {
+		t.Error("empty tenant list should be rejected")
+	}
+	if _, err := LoadTenants(strings.NewReader(`{"tenantz": []}`)); err == nil {
+		t.Error("unknown fields should be rejected")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	var c costModel
+	c.observe(1000, 10*time.Millisecond)
+	if got := c.projectedRows(3); got != 3000 {
+		t.Errorf("projectedRows(3) = %d after first observation, want 3000", got)
+	}
+	// The EWMA follows a shifted workload but a single outlier moves it
+	// only fractionally.
+	c.observe(9000, 10*time.Millisecond)
+	one := c.projectedRows(1)
+	if one <= 1000 || one >= 9000 {
+		t.Errorf("EWMA after outlier = %d, want strictly between 1000 and 9000", one)
+	}
+}
+
+func TestRetryAfterBounds(t *testing.T) {
+	srv, err := New(bigStore(t, 1), oneTenant(metrics.NewRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := srv.retryAfter(); d < 50*time.Millisecond || d > 5*time.Second {
+		t.Errorf("cold retryAfter = %v, want within [50ms, 5s]", d)
+	}
+	srv.cost.avgLatUS.Store(int64(time.Hour / time.Microsecond))
+	if d := srv.retryAfter(); d != 5*time.Second {
+		t.Errorf("clamped retryAfter = %v, want 5s", d)
+	}
+}

@@ -1,0 +1,136 @@
+package server
+
+// The qerr→HTTP table (DESIGN.md §13): every failure a request can hit
+// maps onto one stable status code and a machine-readable JSON body, so
+// clients dispatch on (status, reason) instead of parsing error text.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"conquer/internal/qerr"
+)
+
+// Admission errors. They never reach the engine — the request is refused
+// before any execution work happens.
+var (
+	// ErrShed reports that admission control refused the request: the
+	// queue watermark or the projected-memory watermark was crossed.
+	// Shed work is retryable — the response carries Retry-After.
+	ErrShed = errors.New("server: overloaded, request shed")
+	// ErrDraining reports that the server has stopped admitting work
+	// because it is shutting down. Retryable against a replica.
+	ErrDraining = errors.New("server: draining for shutdown")
+	// ErrUnauthorized reports a missing or unknown API key.
+	ErrUnauthorized = errors.New("server: unknown API key")
+)
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) for "the client canceled the request"; net/http happily
+// writes it and it keeps client cancellation distinguishable from every
+// server-attributed failure in access logs.
+const StatusClientClosedRequest = 499
+
+// reasonFor classifies err into the serving layer's stable reason
+// keyword: the qerr taxonomy keywords plus "shed", "shutdown" (also used
+// for drain refusals), "unauthorized", and "invalid" for everything
+// outside the taxonomy (parse errors, unknown tables, malformed bodies).
+func reasonFor(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrShed):
+		return "shed"
+	case errors.Is(err, ErrDraining):
+		return "shutdown"
+	case errors.Is(err, ErrUnauthorized):
+		return "unauthorized"
+	}
+	if r := qerr.Reason(err); r != "" {
+		return r
+	}
+	return "invalid"
+}
+
+// StatusFor maps a reason keyword onto its HTTP status code. The table
+// is exhaustive over every keyword reasonFor can produce; unknown
+// keywords fall back to 500 so a future taxonomy addition fails loudly
+// in the overload test rather than silently returning 200.
+//
+//	""             200  success
+//	invalid        400  parse/plan/validation failure — do not retry
+//	unauthorized   401  missing or unknown API key
+//	candidates     413  candidate space exceeds the enumeration budget
+//	model          422  dirty-database metadata unusable
+//	shed           429  admission refused under overload — retry after
+//	budget         429  execution budget exhausted — retry with backoff
+//	canceled       499  client canceled (or client-imposed deadline)
+//	internal       500  executor panic caught at the boundary
+//	shutdown       503  draining: admission refused or in-flight canceled
+//	deadline       504  the server's own query timeout passed
+func StatusFor(reason string) int {
+	switch reason {
+	case "":
+		return http.StatusOK
+	case "invalid":
+		return http.StatusBadRequest
+	case "unauthorized":
+		return http.StatusUnauthorized
+	case "candidates":
+		return http.StatusRequestEntityTooLarge
+	case "model":
+		return http.StatusUnprocessableEntity
+	case "shed", "budget":
+		return http.StatusTooManyRequests
+	case "canceled":
+		return StatusClientClosedRequest
+	case "internal":
+		return http.StatusInternalServerError
+	case "shutdown":
+		return http.StatusServiceUnavailable
+	case "deadline":
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// Retryable reports whether a response status invites a retry: only the
+// overload statuses do. Budget/shed 429s and drain 503s are transient
+// resource conditions; everything else (bad request, cancellation,
+// internal faults, the server's own timeout) retries in vain or worse.
+func Retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// ErrorBody is the machine-readable JSON error payload. RetryAfterMS
+// refines the integral-seconds Retry-After header for sub-second waits;
+// it is only set when the header is.
+type ErrorBody struct {
+	Error        string `json:"error"`
+	Reason       string `json:"reason"`
+	Status       int    `json:"status"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// writeError renders err as its table-mapped status plus JSON body,
+// attaching Retry-After to the retryable statuses.
+func (s *Server) writeError(w http.ResponseWriter, err error) (status int, reason string) {
+	reason = reasonFor(err)
+	status = StatusFor(reason)
+	body := ErrorBody{Error: err.Error(), Reason: reason, Status: status}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if Retryable(status) {
+		ra := s.retryAfter()
+		body.RetryAfterMS = ra.Milliseconds()
+		// The header speaks integral seconds; round up so "wait 300ms"
+		// never becomes "Retry-After: 0".
+		secs := int64((ra + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+	return status, reason
+}
