@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint lint-json lint-allows race fmt fuzz bench-json bench-json-pr7 load-smoke
+.PHONY: all build test lint lint-json lint-allows race fmt fuzz bench-json bench-json-pr7 bench-json-pr8 load-smoke
 
 all: build lint test
 
@@ -61,6 +61,14 @@ bench-json: bench-json-pr7
 # p99 within 3× of baseline).
 bench-json-pr7:
 	$(GO) run ./cmd/loadgen -mode bench -duration 4s -out BENCH_PR7.json
+
+# Cluster-sharded execution benchmark (DESIGN.md §14): the rewritten
+# queries and cache cold/warm phases at shard counts 1/2/4, with the
+# worst skew ratio the shard balancer saw. BENCH_PR8.json carries the
+# host's core count — on a single CPU the multi-shard rows measure
+# partitioning and gather overhead, not speedup.
+bench-json-pr8:
+	$(GO) run ./cmd/benchjson -pr8 -out BENCH_PR8.json
 
 # CI load-smoke gate: low-QPS traffic under the admission watermark
 # must shed nothing, fail nothing, and keep p99 interactive.

@@ -201,6 +201,33 @@ func BenchmarkFig8Parallelism(b *testing.B) {
 	}
 }
 
+// BenchmarkFig8Sharding times rewritten Query 3 at cluster-shard counts
+// 1, 2 and 4 with a fixed worker count. Results are byte-identical at
+// every shard count, so the deltas are pure partitioning, balancing and
+// gather cost.
+func BenchmarkFig8Sharding(b *testing.B) {
+	d := workload(b, 1, 3)
+	var q3 *sqlparse.SelectStmt
+	for _, p := range queryPairs(b) {
+		if p.Number == 3 {
+			q3 = p.Rewritten
+		}
+	}
+	if q3 == nil {
+		b.Fatal("query 3 missing from bench.PreparePairs()")
+	}
+	for _, sh := range []int{1, 2, 4} {
+		eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: 4, Shards: sh})
+		b.Run(fmt.Sprintf("shards=%d", sh), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.QueryStmt(q3); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig7ProbCalcParallelism times the §4 probability computation
 // on lineitem at worker counts 1, 2 and 4 (one task per cluster).
 func BenchmarkFig7ProbCalcParallelism(b *testing.B) {

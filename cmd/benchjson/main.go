@@ -12,6 +12,11 @@
 // report.
 //
 //	go run ./cmd/benchjson -out BENCH_PR5.json
+//	go run ./cmd/benchjson -pr8 -out BENCH_PR8.json
+//
+// The -pr8 mode instead reports the cluster-sharded execution layer:
+// the rewritten queries and the cache's cold/warm phases at shard
+// counts 1, 2 and 4, with the worst skew ratio the shard balancer saw.
 //
 // Timings are best-of-reps wall clock, reported as ns per operation
 // alongside the host's core count — speedups are only meaningful
@@ -42,6 +47,12 @@ type entry struct {
 	// first execution, result-tier hit, and re-execution after a table
 	// mutation moved the version vector. Empty elsewhere.
 	Cache string `json:"cache,omitempty"`
+	// Shards is the engine's cluster-shard count for -pr8 rows; 0 on
+	// rows measured without the shard axis.
+	Shards int `json:"shards,omitempty"`
+	// Skew is the worst shard-balance ratio (max shard rows over mean)
+	// observed across the row's queries; set on -pr8 total rows only.
+	Skew float64 `json:"skew,omitempty"`
 }
 
 type report struct {
@@ -58,12 +69,19 @@ func main() {
 	ifv := flag.Int("if", 5, "inconsistency factor")
 	seed := flag.Int64("seed", 20060403, "generator seed")
 	reps := flag.Int("reps", 3, "repetitions (best run is reported)")
+	pr8 := flag.Bool("pr8", false, "emit the PR 8 sharding report (rewritten queries and cache cold/warm at shard counts 1/2/4) instead of the PR 5 figures")
+	par := flag.Int("par", 0, "worker count for -pr8 rows (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	workers := []int{1, 2, 4}
 	rep := report{Cores: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	if rep.Cores == 1 {
 		rep.Note = "single-CPU host: parallel rows measure coordination overhead, not speedup"
+	}
+
+	if *pr8 {
+		runPR8(&rep, *out, *sf, *scale, *seed, *reps, *par)
+		return
 	}
 
 	for _, n := range workers {
@@ -134,15 +152,80 @@ func main() {
 		}
 	}
 
+	writeReport(&rep, *out)
+}
+
+// runPR8 writes the PR 8 sharding report: the thirteen rewritten
+// queries at shard counts 1/2/4 (per-query and total, with the worst
+// skew ratio the shard balancer saw on the total rows), then cache
+// cold/warm rows at the same shard counts. Shards only reschedule —
+// results are byte-identical at every count — so the per-shard-count
+// deltas are pure partitioning and gather cost on this host.
+func runPR8(rep *report, out string, sf, scale float64, seed int64, reps, par int) {
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	shardCounts := []int{1, 2, 4}
+
+	d, err := bench.GenerateWorkload(sf, 3, scale, seed)
+	if err != nil {
+		fatal(err)
+	}
+	rows, err := bench.Fig8Sharded(d, reps, par, shardCounts)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range rows {
+		for _, q := range r.PerQuery {
+			rep.Results = append(rep.Results, entry{
+				Name: fmt.Sprintf("fig8_sharded/Q%d", q.Query), Workers: par,
+				NsPerOp: q.Rewritten.Nanoseconds(), Shards: r.Shards,
+			})
+		}
+		rep.Results = append(rep.Results, entry{
+			Name: "fig8_sharded/total", Workers: par,
+			NsPerOp: r.Total.Nanoseconds(), Shards: r.Shards, Skew: r.Skew,
+		})
+	}
+
+	// Fresh workload for the cache rows: FigCacheSharded mutates tables
+	// for its invalidated phase, which would perturb the figures above.
+	for _, sh := range shardCounts {
+		dc, err := bench.GenerateWorkload(sf, 3, scale, seed)
+		if err != nil {
+			fatal(err)
+		}
+		cacheRows, err := bench.FigCacheSharded(dc, reps, par, sh)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range cacheRows {
+			for _, phase := range []struct {
+				label string
+				d     time.Duration
+			}{{"cold", r.Cold}, {"warm", r.Warm}} {
+				rep.Results = append(rep.Results, entry{
+					Name: fmt.Sprintf("fig8_cache_sharded/Q%d", r.Query), Workers: par,
+					NsPerOp: phase.d.Nanoseconds(), Cache: phase.label, Shards: sh,
+				})
+			}
+		}
+	}
+
+	writeReport(rep, out)
+}
+
+// writeReport marshals rep to path.
+func writeReport(rep *report, path string) {
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%d results, %d cores)\n", *out, len(rep.Results), rep.Cores)
+	fmt.Printf("wrote %s (%d results, %d cores)\n", path, len(rep.Results), rep.Cores)
 }
 
 func fatal(err error) {

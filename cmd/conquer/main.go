@@ -74,6 +74,7 @@ func main() {
 	oneShot := flag.String("c", "", "execute one statement and exit")
 	timeout := flag.Duration("timeout", 0, "per-query wall-clock budget (0 = none)")
 	par := flag.Int("parallelism", 0, "workers for parallel execution (0 = one per CPU, 1 = serial)")
+	shards := flag.Int("shards", 0, "cluster shards for partitioned scans (0 = one per CPU, 1 = unsharded)")
 	metricsAddr := flag.String("metrics-addr", "", "debug HTTP address for /debug/metrics, expvar and pprof (empty = off; bind localhost only)")
 	queryLogPath := flag.String("query-log", "", "file receiving one JSON line per executed query")
 	cacheBytes := flag.Int64("cache-bytes", 0, "byte budget for cached query results (0 = caching off)")
@@ -110,7 +111,7 @@ func main() {
 	if *cacheBytes > 0 {
 		qc = cachepkg.New(cachepkg.Options{MaxBytes: *cacheBytes})
 	}
-	eng := engine.NewWithOptions(d.Store, engine.Options{Limits: limits, Parallelism: *par, QueryLog: qlog, Cache: qc})
+	eng := engine.NewWithOptions(d.Store, engine.Options{Limits: limits, Parallelism: *par, Shards: *shards, QueryLog: qlog, Cache: qc})
 	sh := &shell{d: d, eng: eng, limits: limits, cache: qc, out: os.Stdout}
 
 	if *oneShot != "" {

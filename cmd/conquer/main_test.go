@@ -225,7 +225,7 @@ func TestShellExplainAnalyzeGolden(t *testing.T) {
 	var out strings.Builder
 	sh := &shell{
 		d:   d,
-		eng: engine.NewWithOptions(d.Store, engine.Options{Parallelism: 1}),
+		eng: engine.NewWithOptions(d.Store, engine.Options{Parallelism: 1, Shards: 1}),
 		out: &out,
 	}
 	const fig4 = `\explain analyze SELECT id, SUM(customer.prob) AS prob FROM customer WHERE balance > 10000 GROUP BY id`

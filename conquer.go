@@ -34,6 +34,7 @@ package conquer
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -56,6 +57,10 @@ type Database struct {
 	d     *dirty.DB
 	eng   *engine.Engine
 	cache *cache.Cache
+	// parallelism and shards are remembered here so EnableCache can
+	// reapply them when it rebuilds the engine.
+	parallelism int
+	shards      int
 }
 
 // New creates an empty database.
@@ -72,11 +77,35 @@ func New() *Database {
 func (db *Database) EnableCache(maxBytes int64) *Database {
 	if maxBytes <= 0 {
 		db.cache = nil
-		db.eng = engine.New(db.d.Store)
-		return db
+	} else {
+		db.cache = cache.New(cache.Options{MaxBytes: maxBytes})
 	}
-	db.cache = cache.New(cache.Options{MaxBytes: maxBytes})
-	db.eng = engine.NewWithOptions(db.d.Store, engine.Options{Cache: db.cache})
+	db.eng = engine.NewWithOptions(db.d.Store, engine.Options{
+		Cache:       db.cache,
+		Parallelism: db.parallelism,
+		Shards:      db.shards,
+	})
+	return db
+}
+
+// SetParallelism sets the engine's worker count for subsequent queries
+// (0 tracks GOMAXPROCS, 1 forces serial execution). It returns db for
+// chaining.
+func (db *Database) SetParallelism(n int) *Database {
+	db.parallelism = n
+	db.eng.SetParallelism(n)
+	return db
+}
+
+// SetShards sets the engine's cluster-shard count for subsequent
+// queries (0 tracks GOMAXPROCS, 1 forces unsharded scans). Sharding is
+// a pure scheduling knob — results are byte-identical at every shard
+// count, because hash-partitioning rows by cluster identifier never
+// splits a duplicate cluster (Dfn 2) and scatter/gather reassembles the
+// serial row order. It returns db for chaining.
+func (db *Database) SetShards(n int) *Database {
+	db.shards = n
+	db.eng.SetShards(n)
 	return db
 }
 
@@ -493,13 +522,23 @@ func (db *Database) MatchTuples(table string, attrCols []string, prefix string, 
 
 // AssignProbabilities computes tuple probabilities for a dirty table from
 // its clustering using the paper's §4 information-loss method and writes
-// them into the probability column.
+// them into the probability column. The per-cluster work runs on the
+// database's parallelism and shard settings (SetParallelism, SetShards);
+// the probabilities are bit-identical to a serial pass at every setting,
+// because the Figure-5 arithmetic never crosses a cluster boundary.
 func (db *Database) AssignProbabilities(table string, attrCols []string) error {
 	tb, ok := db.d.Store.Table(table)
 	if !ok {
 		return fmt.Errorf("conquer: unknown table %q", table)
 	}
-	return probcalc.AnnotateTable(tb, attrCols, nil)
+	par, sh := db.parallelism, db.shards
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if sh == 0 {
+		sh = runtime.GOMAXPROCS(0)
+	}
+	return probcalc.AnnotateTableSharded(tb, attrCols, nil, sh, par)
 }
 
 // Propagate performs identifier propagation along every declared foreign

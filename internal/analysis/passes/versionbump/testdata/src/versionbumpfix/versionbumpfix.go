@@ -108,6 +108,40 @@ func (t *Table) reindex() {
 	t.indexes = map[string][]int{}
 }
 
+// Rebuild mirrors storage.ShardedTable.Shards(): the writes live in an
+// unexported helper and the exported caller bumps afterwards. The
+// one-level interprocedural reach must raise the obligation at the
+// reindex() call and see it discharged.
+func (t *Table) Rebuild() {
+	t.reindex()
+	t.bump()
+}
+
+// RebuildNoBump delegates the mutation and forgets the bump: the
+// obligation raised through reindex() leaks off the end.
+func (t *Table) RebuildNoBump() { // want `RebuildNoBump mutates the receiver but can fall off the end without calling bump`
+	t.reindex()
+}
+
+// RebuildBranchyNoBump only sometimes reaches the delegated mutation;
+// the mutating branch must still be flagged.
+func (t *Table) RebuildBranchyNoBump(stale bool) error {
+	if stale {
+		t.reindex()
+	}
+	return nil // want `RebuildBranchyNoBump mutates the receiver but this success path returns without calling bump`
+}
+
+// logSize only reads; calling it raises no obligation.
+func (t *Table) logSize() {
+	_ = len(t.rows)
+}
+
+// Touch statement-calls a read-only helper: no finding.
+func (t *Table) Touch() {
+	t.logSize()
+}
+
 // Plain has no bump method; its mutators are out of scope.
 type Plain struct{ n int }
 

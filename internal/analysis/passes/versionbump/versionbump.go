@@ -105,11 +105,27 @@ func hasBumpMethod(pass *analysis.Pass, t types.Type) bool {
 }
 
 // mutatesReceiver reports whether block-level node n writes receiver
-// state: an assignment or inc/dec whose lvalue is a field, element, or
-// deref of recv, or a mutating builtin/sort call on a receiver field.
-// Writes to the version field itself are not mutations (that IS the
-// bump machinery).
+// state: a direct mutation (see directMutation), or a statement call to
+// an unexported same-package helper method that itself mutates its
+// receiver — one level of interprocedural reach, enough to cover
+// mutators like storage.ShardedTable.Shards() that delegate the actual
+// writes to an unexported rebuild().
 func mutatesReceiver(pass *analysis.Pass, n ast.Node, recv *types.Var) bool {
+	if directMutation(pass, n, recv) {
+		return true
+	}
+	if es, ok := n.(*ast.ExprStmt); ok {
+		return helperMutates(pass, es.X, recv)
+	}
+	return false
+}
+
+// directMutation reports whether n writes receiver state in place: an
+// assignment or inc/dec whose lvalue is a field, element, or deref of
+// recv, or a mutating builtin/sort call on a receiver field. Writes to
+// the version field itself are not mutations (that IS the bump
+// machinery).
+func directMutation(pass *analysis.Pass, n ast.Node, recv *types.Var) bool {
 	switch n := n.(type) {
 	case *ast.AssignStmt:
 		for _, lhs := range n.Lhs {
@@ -123,6 +139,70 @@ func mutatesReceiver(pass *analysis.Pass, n ast.Node, recv *types.Var) bool {
 		return callMutates(pass, n.X, recv)
 	}
 	return false
+}
+
+// helperMutates reports whether e is a call recv.helper(...) to an
+// unexported pointer-receiver method of the same package whose own body
+// directly mutates its receiver. The reach is deliberately one level
+// deep — helpers calling further helpers stay invisible — so the
+// analyzer never loops on recursive methods and findings stay easy to
+// audit. bump itself is the discharge, never an obligation.
+func helperMutates(pass *analysis.Pass, e ast.Expr, recv *types.Var) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if flow.RootObject(pass.TypesInfo, sel.X) != recv {
+		return false
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Exported() || fn.Name() == "bump" || fn.Pkg() != pass.Pkg {
+		return false
+	}
+	fd := declOf(pass, fn)
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	hrecv := receiverObject(pass, fd)
+	if hrecv == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.AssignStmt, *ast.IncDecStmt, *ast.ExprStmt:
+			if directMutation(pass, n, hrecv) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// declOf finds the syntax of a method declared in the package under
+// analysis, or nil (e.g. for methods of embedded foreign types).
+func declOf(pass *analysis.Pass, fn *types.Func) *ast.FuncDecl {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			if pass.TypesInfo.ObjectOf(fd.Name) == fn {
+				return fd
+			}
+		}
+	}
+	return nil
 }
 
 // lvalueMutates reports whether writing lhs mutates recv's pointee:

@@ -282,12 +282,21 @@ func (r CacheRow) Speedup() float64 {
 // re-inserting an existing row, which keeps timings comparable while
 // genuinely bumping the table's version).
 func FigCache(d *dirty.DB, reps, parallelism int) ([]CacheRow, error) {
+	return FigCacheSharded(d, reps, parallelism, 1)
+}
+
+// FigCacheSharded is FigCache with the engine's cluster-shard count set
+// explicitly; 1 reproduces the unsharded engine exactly. Sharding never
+// changes the cached bytes (results are byte-identical at every shard
+// count), so the warm rows measure the same hit path — only the cold and
+// invalidated executions move.
+func FigCacheSharded(d *dirty.DB, reps, parallelism, shards int) ([]CacheRow, error) {
 	pairs, err := PreparePairs()
 	if err != nil {
 		return nil, err
 	}
 	c := cache.New(cache.Options{MaxBytes: 256 << 20, Registry: metrics.NewRegistry()})
-	eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: parallelism, Cache: c})
+	eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: parallelism, Shards: shards, Cache: c})
 	if reps < 1 {
 		reps = 1
 	}

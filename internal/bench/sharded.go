@@ -1,0 +1,66 @@
+package bench
+
+// PR 8 sharding benchmark: the Figure-8 rewritten queries across
+// cluster-shard counts, with the skew the shard balancer observed. The
+// interesting quantity is throughput per shard count on a fixed host —
+// results are byte-identical at every count (DESIGN.md §14), so any
+// delta is pure scheduling.
+
+import (
+	"fmt"
+	"time"
+
+	"conquer/internal/dirty"
+	"conquer/internal/engine"
+)
+
+// Fig8ShardedRow is one shard-count point: per-query best-of-reps
+// timings for the thirteen rewritten queries, their total, and the
+// worst per-query skew ratio (max shard rows over mean) plus the total
+// morsel steals the balancer performed across all runs.
+type Fig8ShardedRow struct {
+	Shards     int
+	PerQuery   []Fig8Row
+	Total      time.Duration
+	Skew       float64
+	Rebalances int64
+}
+
+// Fig8Sharded runs the thirteen rewritten queries at each shard count
+// with a fixed worker count, reporting best-of-reps wall clock. On a
+// single-CPU host the multi-shard rows measure partitioning and gather
+// overhead, not speedup — report the core count alongside.
+func Fig8Sharded(d *dirty.DB, reps, parallelism int, shardCounts []int) ([]Fig8ShardedRow, error) {
+	pairs, err := PreparePairs()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig8ShardedRow
+	for _, sh := range shardCounts {
+		eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: parallelism, Shards: sh})
+		row := Fig8ShardedRow{Shards: sh}
+		for _, p := range pairs {
+			qr := Fig8Row{Query: p.Number}
+			dur, err := timeBest(reps, func() error {
+				res, err := eng.QueryStmt(p.Rewritten)
+				if err != nil {
+					return err
+				}
+				qr.CleanRows = len(res.Rows)
+				if s := res.Stats.ShardSkew; s > row.Skew {
+					row.Skew = s
+				}
+				row.Rebalances += res.Stats.ShardRebalances
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("Q%d rewritten shards=%d: %w", p.Number, sh, err)
+			}
+			qr.Rewritten = dur
+			row.Total += dur
+			row.PerQuery = append(row.PerQuery, qr)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

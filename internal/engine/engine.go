@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +36,12 @@ type Options struct {
 	// execution; 0 defaults to runtime.GOMAXPROCS(0), 1 forces serial
 	// execution.
 	Parallelism int
+	// Shards is the cluster-shard count for partitioned scans; 0 defaults
+	// to runtime.GOMAXPROCS(0), 1 forces unsharded scans. Results are
+	// byte-identical at every shard count (DESIGN.md §14), so this tunes
+	// only scheduling. Shard views are cached per table and rebuilt when
+	// the table version moves.
+	Shards int
 	// NoInstrument disables per-operator instrumentation. Instrumentation
 	// is on by default — the counters are plain atomic adds and the bench
 	// suite guards the overhead — but benchmarks comparing instrumented
@@ -56,6 +63,12 @@ type Engine struct {
 	db    *storage.DB
 	opts  Options
 	cache *cache.Cache
+
+	// shardViews caches one ShardedTable per base table so repeated
+	// queries reuse partitions; ShardedTable itself revalidates against
+	// the table version on every Shards() call.
+	mu         sync.Mutex
+	shardViews map[*storage.Table]*storage.ShardedTable
 }
 
 // New creates an engine over db with default options (parallelism
@@ -85,6 +98,10 @@ func (e *Engine) SetLimits(limits exec.Limits) { e.opts.Limits = limits }
 // GOMAXPROCS, 1 forces serial execution).
 func (e *Engine) SetParallelism(n int) { e.opts.Parallelism = n }
 
+// SetShards sets the cluster-shard count for subsequent queries (0
+// tracks GOMAXPROCS, 1 forces unsharded scans).
+func (e *Engine) SetShards(n int) { e.opts.Shards = n }
+
 // Cache returns the engine's query cache (nil when caching is off); the
 // REPL's \cache command reads stats and clears entries through it.
 func (e *Engine) Cache() *cache.Cache { return e.cache }
@@ -96,7 +113,33 @@ func (e *Engine) planOptions() plan.Options {
 	if opts.Parallelism == 0 {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	opts.Shards = e.opts.Shards
+	if opts.Shards == 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Shards > 1 {
+		n := opts.Shards
+		opts.Sharder = func(tb *storage.Table) exec.ShardView {
+			return e.shardedView(tb, n)
+		}
+	}
 	return opts
+}
+
+// shardedView returns the cached shard view for tb, rebuilding when the
+// configured shard count changed since it was cached.
+func (e *Engine) shardedView(tb *storage.Table, n int) *storage.ShardedTable {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.shardViews == nil {
+		e.shardViews = make(map[*storage.Table]*storage.ShardedTable)
+	}
+	if v, ok := e.shardViews[tb]; ok && v.NumShards() == n {
+		return v
+	}
+	v := storage.NewShardedTable(tb, n)
+	e.shardViews[tb] = v
+	return v
 }
 
 // DB returns the underlying database.
@@ -129,6 +172,22 @@ type Stats struct {
 	// PlanTime/BufferedPeak are zero). Cached rows are shared with the
 	// cache and must not be mutated.
 	Cached bool
+	// Shards is the cluster-shard count the planner targeted (1 means
+	// unsharded scans).
+	Shards int
+	// ShardSkew is the worst max/mean per-shard row ratio across the
+	// query's sharded scans (1.0 = perfectly balanced, 0 = no sharded
+	// scan ran). Zeroed on cached results.
+	ShardSkew float64
+	// ShardRebalances counts the morsel claims workers stole off their
+	// home shard across all sharded scans. Zeroed on cached results.
+	ShardRebalances int64
+	// ShardBufferedMax is the largest per-shard buffered-row reservation
+	// total — the admission controller's per-shard cost seed (a sharded
+	// build buffers at most this much per shard, not the global sum).
+	// Zero when no sharded pipeline buffered rows; zeroed on cached
+	// results.
+	ShardBufferedMax int64
 }
 
 // Query parses, plans and executes sql without cancellation.
@@ -182,7 +241,7 @@ func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (r
 	defer qerr.Recover(&err)
 	popts := e.planOptions()
 	start := time.Now()
-	defer func() { e.report(ctx, stmt, popts.Parallelism, res, err, time.Since(start)) }()
+	defer func() { e.report(ctx, stmt, popts, res, err, time.Since(start)) }()
 	ctx, cancel := e.opts.Limits.WithContext(ctx)
 	defer cancel()
 	if e.cache == nil {
@@ -216,6 +275,9 @@ func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (r
 	out.Stats.PlanTime = 0
 	out.Stats.ExecTime = time.Since(start)
 	out.Stats.BufferedPeak = 0
+	out.Stats.ShardSkew = 0
+	out.Stats.ShardRebalances = 0
+	out.Stats.ShardBufferedMax = 0
 	return &out, nil
 }
 
@@ -225,7 +287,7 @@ func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (r
 // aggregation re-associates float sums — results are only guaranteed
 // byte-identical at one worker count.
 func resultKey(stmt *sqlparse.SelectStmt, popts plan.Options) string {
-	return fmt.Sprintf("%s|par=%d;idx=%t", stmt.SQL(), popts.Parallelism, popts.PreferIndexJoin)
+	return fmt.Sprintf("%s|par=%d;idx=%t;sh=%d", stmt.SQL(), popts.Parallelism, popts.PreferIndexJoin, popts.Shards)
 }
 
 // stmtTables lists the tables the statement references.
@@ -295,7 +357,7 @@ func (e *Engine) executeStmt(ctx context.Context, stmt *sqlparse.SelectStmt, pop
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Columns: op.Schema().Names(),
 		Rows:    rows,
 		Stats: Stats{
@@ -304,8 +366,32 @@ func (e *Engine) executeStmt(ctx context.Context, stmt *sqlparse.SelectStmt, pop
 			ExecTime:     time.Since(execStart),
 			BufferedPeak: gov.BufferedPeak(),
 			Rows:         len(rows),
+			Shards:       max(popts.Shards, 1),
 		},
-	}, nil
+	}
+	fillShardStats(&res.Stats, exec.CollectShardStats(op))
+	return res, nil
+}
+
+// fillShardStats folds the per-scan shard breakdowns into the query
+// stats: worst skew wins, rebalances add, and the buffered maximum is
+// taken over each shard's total across scans.
+func fillShardStats(st *Stats, groups []exec.ShardGroupStat) {
+	perShard := make(map[int]int64)
+	for _, g := range groups {
+		if s := g.Skew(); s > st.ShardSkew {
+			st.ShardSkew = s
+		}
+		st.ShardRebalances += g.Rebalances
+		for _, sh := range g.Shards {
+			perShard[sh.Shard] += sh.Buffered
+		}
+	}
+	for _, b := range perShard {
+		if b > st.ShardBufferedMax {
+			st.ShardBufferedMax = b
+		}
+	}
 }
 
 // report feeds the process-level metrics registry and, when configured,
@@ -313,7 +399,7 @@ func (e *Engine) executeStmt(ctx context.Context, stmt *sqlparse.SelectStmt, pop
 // Serving metadata (tenant, admission-queue wait) travels in ctx via
 // metrics.ContextWithQueryInfo so the server shows up in the log without
 // the engine knowing about tenancy.
-func (e *Engine) report(ctx context.Context, stmt *sqlparse.SelectStmt, par int, res *Result, err error, elapsed time.Duration) {
+func (e *Engine) report(ctx context.Context, stmt *sqlparse.SelectStmt, popts plan.Options, res *Result, err error, elapsed time.Duration) {
 	reg := metrics.Default
 	reg.Counter("engine.queries").Inc()
 	reg.Timer("engine.exec").Observe(elapsed)
@@ -325,13 +411,21 @@ func (e *Engine) report(ctx context.Context, stmt *sqlparse.SelectStmt, par int,
 		cached = res.Stats.Cached
 		reg.Counter("engine.rows").Add(int64(rows))
 		reg.Gauge("engine.buffered_peak").SetMax(res.Stats.BufferedPeak)
+		if res.Stats.ShardSkew > 0 {
+			// Gauges are integral; skew travels in milli-units.
+			reg.Gauge("shard.skew").SetMax(int64(res.Stats.ShardSkew * 1000))
+		}
+		if res.Stats.ShardRebalances > 0 {
+			reg.Counter("shard.rebalances").Add(res.Stats.ShardRebalances)
+		}
 	}
 	rec := metrics.QueryRecord{
 		SQLHash:     metrics.HashQuery(stmt.SQL()),
 		Method:      "sql",
 		Rows:        rows,
 		Micros:      elapsed.Microseconds(),
-		Parallelism: par,
+		Parallelism: popts.Parallelism,
+		Shards:      max(popts.Shards, 1),
 		Cached:      cached,
 		Err:         qerr.LogReason(err),
 	}
@@ -371,7 +465,8 @@ func (e *Engine) ExplainAnalyzeCtx(ctx context.Context, sql string) (out string,
 	}
 	ctx, cancel := e.opts.Limits.WithContext(ctx)
 	defer cancel()
-	op, err := plan.Plan(e.db, stmt, e.planOptions())
+	popts := e.planOptions()
+	op, err := plan.Plan(e.db, stmt, popts)
 	if err != nil {
 		return "", err
 	}
@@ -383,9 +478,17 @@ func (e *Engine) ExplainAnalyzeCtx(ctx context.Context, sql string) (out string,
 	if err != nil {
 		return "", err
 	}
-	summary := fmt.Sprintf("-- %d rows in %s (buffered peak %d)\n",
+	summary := fmt.Sprintf("-- %d rows in %s (buffered peak %d)",
 		len(rows), time.Since(start).Round(time.Microsecond), gov.BufferedPeak())
-	return exec.ExplainAnalyze(op) + summary, nil
+	// Shard summary only when sharding was on, so unsharded output (and
+	// the shell golden) is byte-stable.
+	var st Stats
+	fillShardStats(&st, exec.CollectShardStats(op))
+	if popts.Shards > 1 && st.ShardSkew > 0 {
+		summary += fmt.Sprintf(" (shards %d skew %.2f rebalances %d)",
+			popts.Shards, st.ShardSkew, st.ShardRebalances)
+	}
+	return exec.ExplainAnalyze(op) + summary + "\n", nil
 }
 
 // ColumnIndex returns the position of the named result column, or -1.

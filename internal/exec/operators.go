@@ -16,11 +16,18 @@ import (
 type Scan struct {
 	Table *storage.Table
 	Alias string
+	// Sharded, when non-nil, is a cluster-partitioned view of Table;
+	// splitPipeline then runs the scan per shard with skew-aware morsel
+	// stealing (see sharded.go). Serial execution ignores it.
+	Sharded ShardView
 
 	govHolder
 	statsHolder
 	schema RowSchema
 	pos    int
+	// lastGroup is the shard group of the most recent split execution;
+	// EXPLAIN ANALYZE and CollectShardStats read it after the query.
+	lastGroup *shardGroup
 }
 
 // NewScan builds a scan of tb under the given alias.
@@ -63,6 +70,10 @@ func (s *Scan) Close() error { s.stats.markDone(); return nil }
 
 // Describe implements Operator.
 func (s *Scan) Describe() string {
+	if s.Sharded != nil {
+		return fmt.Sprintf("Scan(%s AS %s, %d rows, shards=%d)",
+			s.Table.Schema.Name, s.Alias, s.Table.Len(), s.Sharded.NumShards())
+	}
 	return fmt.Sprintf("Scan(%s AS %s, %d rows)", s.Table.Schema.Name, s.Alias, s.Table.Len())
 }
 
@@ -575,7 +586,7 @@ type HashAggregate struct {
 
 type aggState struct {
 	groupVals []value.Value
-	ord       uint64 // first-appearance ordinal, orders the parallel merge
+	ord       rowOrd // first-appearance ordinal, orders the parallel merge
 	count     []int64
 	sum       []float64
 	sumIsInt  []bool
@@ -634,7 +645,7 @@ func (a *HashAggregate) newAcc() *aggAcc {
 	}
 }
 
-func (a *HashAggregate) newState(gv []value.Value, ord uint64) *aggState {
+func (a *HashAggregate) newState(gv []value.Value, ord rowOrd) *aggState {
 	n := len(a.Aggs)
 	st := &aggState{
 		groupVals: append([]value.Value(nil), gv...),
@@ -655,7 +666,7 @@ func (a *HashAggregate) newState(gv []value.Value, ord uint64) *aggState {
 // accumulate folds one child row into acc, reserving budget through gov
 // (the caller's governor — a worker fork during parallel aggregation)
 // for each new group.
-func (a *HashAggregate) accumulate(acc *aggAcc, row []value.Value, gov *Governor, ord uint64) error {
+func (a *HashAggregate) accumulate(acc *aggAcc, row []value.Value, gov *Governor, ord rowOrd) error {
 	gv := acc.scratch
 	for i, ev := range a.groupEvs {
 		v, err := ev(row)
@@ -671,6 +682,12 @@ func (a *HashAggregate) accumulate(acc *aggAcc, row []value.Value, gov *Governor
 			st = cand
 			break
 		}
+	}
+	if st != nil && ord.less(st.ord) {
+		// A sharded worker walks shards out of base-ordinal order, so a
+		// later row can carry an earlier ordinal; the group keeps the
+		// minimum so the merged order matches the serial first appearance.
+		st.ord = ord
 	}
 	if st == nil {
 		acc.reserved++ // a failed reservation still charges (drainBuffered convention)
@@ -722,7 +739,7 @@ func (a *HashAggregate) accumulate(acc *aggAcc, row []value.Value, gov *Governor
 // add; min/max compare; the first-appearance ordinal is the minimum, so
 // the merged output order matches the serial pass.
 func combine(dst, src *aggState, aggs []AggSpec) {
-	if src.ord < dst.ord {
+	if src.ord.less(dst.ord) {
 		dst.ord = src.ord
 	}
 	for i, spec := range aggs {
@@ -778,8 +795,8 @@ func (a *HashAggregate) emit(order []*aggState) error {
 // aggregation when Parallelism > 1 and the child pipeline splits.
 func (a *HashAggregate) Open() error {
 	a.stats.markOpen()
-	if a.Parallelism > 1 {
-		if parts, leaves, ok := splitPipeline(a.Child, a.Parallelism, a.MorselSize); ok {
+	if a.Parallelism > 1 || hasShardedLeaf(a.Child) {
+		if parts, leaves, ok := splitPipeline(a.Child, max(a.Parallelism, 1), a.MorselSize); ok {
 			return a.openParallel(parts, leaves)
 		}
 	}
@@ -788,7 +805,7 @@ func (a *HashAggregate) Open() error {
 	}
 	defer a.Child.Close()
 	acc := a.newAcc()
-	var ord uint64
+	var ord int64
 	for {
 		if err := a.gov.Poll(); err != nil {
 			a.reserved = acc.reserved
@@ -803,7 +820,7 @@ func (a *HashAggregate) Open() error {
 			break
 		}
 		a.stats.addIn(1)
-		if err := a.accumulate(acc, row, a.gov, ord); err != nil {
+		if err := a.accumulate(acc, row, a.gov, rowOrd{base: ord}); err != nil {
 			a.reserved = acc.reserved
 			return err
 		}

@@ -79,14 +79,46 @@ func (c *morselCursor) morsels() int {
 	return (c.total + c.size - 1) / c.size
 }
 
+// remaining estimates how many morsels are still unclaimed. It is a
+// racy snapshot — the skew balancer uses it only to pick a steal
+// target; claim() stays the sole source of truth.
+func (c *morselCursor) remaining() int {
+	r := c.morsels() - int(c.next.Load())
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// rowOrd orders pipeline output rows by base-table provenance: the
+// base-table ordinal of the leaf row that produced the output, plus an
+// emission sequence within that leaf row (join fanout emits several
+// rows per leaf row). Sorting by rowOrd reconstructs the serial
+// execution order exactly, whether the leaf rows arrived from one
+// cursor in ordinal order (unsharded) or interleaved across cluster
+// shards.
+type rowOrd struct {
+	base int64
+	seq  int64
+}
+
+func (o rowOrd) less(p rowOrd) bool {
+	return o.base < p.base || (o.base == p.base && o.seq < p.seq)
+}
+
 // leafTracker is implemented by the leaf of a partial pipeline; it
-// reports which morsel produced the row most recently returned by the
-// pipeline, letting consumers restore global order and derive stable
-// per-row ordinals, and how many morsels this leaf has claimed in total
-// (the per-worker share EXPLAIN ANALYZE reports).
+// reports which morsel (and which base-table ordinal) produced the row
+// most recently returned by the pipeline, letting consumers restore
+// global order and derive stable per-row ordinals, and how many morsels
+// this leaf has claimed in total (the per-worker share EXPLAIN ANALYZE
+// reports). shardInfo exposes the shared shard group (nil when the leaf
+// scans an unsharded table) and the worker's home shard, so consumers
+// can attribute buffered-row reservations per shard.
 type leafTracker interface {
 	currentMorsel() int
+	currentOrdinal() int64
 	claimedMorsels() int
+	shardInfo() (*shardGroup, int)
 }
 
 // MorselScan is the leaf of a partial pipeline: a Scan over whichever
@@ -103,16 +135,55 @@ type MorselScan struct {
 	claims int
 	pos    int
 	end    int
+
+	// Sharded mode: the shared shard group, this worker's home shard,
+	// the shard currently being drained, and the current shard table's
+	// base-table ordinals (nil when unsharded).
+	group *shardGroup
+	home  int
+	src   int
+	ords  []int64
 }
 
 func (s *MorselScan) Schema() RowSchema { return s.schema }
 
-// Open resets the worker-local range (the shared cursor is reset by
+// Open resets the worker-local range (the shared cursors are reset by
 // re-splitting, not here — resetting per part would race).
 func (s *MorselScan) Open() error {
 	s.stats.markOpen()
 	s.pos, s.end, s.morsel, s.claims = 0, 0, -1, 0
+	if s.group != nil {
+		s.src = s.home
+		sh := s.group.shards[s.home]
+		s.Table, s.ords = sh.Table, sh.Ords
+	}
 	return nil
+}
+
+// claim acquires the next morsel: from the shared cursor when
+// unsharded, or from the shard group — home shard first, then stealing
+// from the most-loaded shard — when sharded. Steals after the first
+// claim count as rebalances (a worker whose initial allotment drained
+// moved onto an oversized shard's range).
+func (s *MorselScan) claim() (m, lo, hi int, ok bool) {
+	if s.group == nil {
+		return s.cursor.claim()
+	}
+	nsrc, m, lo, hi, stole, ok := s.group.claim(s.src)
+	if !ok {
+		return 0, 0, 0, false
+	}
+	if stole && s.claims > 0 {
+		s.group.rebalances.Add(1)
+	}
+	if nsrc != s.src {
+		s.src = nsrc
+		sh := s.group.shards[nsrc]
+		s.Table, s.ords = sh.Table, sh.Ords
+	}
+	s.group.rows[nsrc].Add(int64(hi - lo))
+	s.group.claims[nsrc].Add(1)
+	return s.group.morselBase[nsrc] + m, lo, hi, true
 }
 
 // Next returns the next row of the current morsel, claiming a new morsel
@@ -131,7 +202,7 @@ func (s *MorselScan) Next() ([]value.Value, error) {
 			s.stats.incOut()
 			return row, nil
 		}
-		m, lo, hi, ok := s.cursor.claim()
+		m, lo, hi, ok := s.claim()
 		if !ok {
 			return nil, nil
 		}
@@ -145,6 +216,18 @@ func (s *MorselScan) Close() error { s.stats.markDone(); return nil }
 
 func (s *MorselScan) currentMorsel() int  { return s.morsel }
 func (s *MorselScan) claimedMorsels() int { return s.claims }
+
+// currentOrdinal returns the base-table ordinal of the most recently
+// returned row: the scan position itself when unsharded, the shard's
+// ordinal map otherwise.
+func (s *MorselScan) currentOrdinal() int64 {
+	if s.ords != nil {
+		return s.ords[s.pos-1]
+	}
+	return int64(s.pos - 1)
+}
+
+func (s *MorselScan) shardInfo() (*shardGroup, int) { return s.group, s.home }
 
 // Describe implements Operator.
 func (s *MorselScan) Describe() string {
@@ -180,6 +263,9 @@ func CanSplit(op Operator) bool {
 func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, bool) {
 	switch op := op.(type) {
 	case *Scan:
+		if op.Sharded != nil {
+			return splitShardedScan(op, n, morselSize)
+		}
 		cur := newMorselCursor(op.Table.Len(), morselSizeOr(morselSize))
 		if m := cur.morsels(); m > 0 && m < n {
 			n = m
@@ -331,15 +417,19 @@ func closeAll(parts []Operator) error {
 type Gather struct {
 	Child Operator
 	N     int
+	// Shards is the effective shard count of the plan, for display only
+	// (the shard views on the leaf scans drive actual execution).
+	Shards int
 	// MorselSize overrides DefaultMorselSize (0 = default); exposed for
 	// tests that need many morsels over small tables.
 	MorselSize int
 
 	govHolder
 	statsHolder
-	serial bool
-	rows   [][]value.Value
-	pos    int
+	serial  bool
+	sharded bool
+	rows    [][]value.Value
+	pos     int
 	// workerMorsels[w] is how many morsels worker w claimed during the
 	// last parallel Open; EXPLAIN ANALYZE reports it per worker.
 	workerMorsels []int64
@@ -353,17 +443,24 @@ func NewGather(child Operator, n int) *Gather {
 func (g *Gather) Schema() RowSchema { return g.Child.Schema() }
 
 // gatherBatch is one run of rows a worker produced from a single morsel.
+// In sharded mode each row additionally carries its rowOrd, since
+// morsels of different shards interleave in base-ordinal space and only
+// a per-row merge can restore serial order.
 type gatherBatch struct {
 	morsel int
 	rows   [][]value.Value
+	ords   []rowOrd
 }
 
 // Open splits the child and runs the partial pipelines to completion.
+// A sharded leaf splits even at N == 1: per-shard claim accounting
+// requires morsel execution, and the reassembly makes the single-worker
+// result identical to the serial scan anyway.
 func (g *Gather) Open() error {
 	g.stats.markOpen()
 	g.rows, g.pos, g.workerMorsels = nil, 0, nil
-	if g.N > 1 {
-		if parts, leaves, ok := splitPipeline(g.Child, g.N, g.MorselSize); ok {
+	if g.N > 1 || hasShardedLeaf(g.Child) {
+		if parts, leaves, ok := splitPipeline(g.Child, max(g.N, 1), g.MorselSize); ok {
 			g.serial = false
 			return g.openParallel(parts, leaves)
 		}
@@ -373,6 +470,8 @@ func (g *Gather) Open() error {
 }
 
 func (g *Gather) openParallel(parts []Operator, leaves []leafTracker) error {
+	grp, _ := leaves[0].shardInfo()
+	g.sharded = grp != nil
 	perWorker := make([][]gatherBatch, len(parts))
 	err := runWorkers(g.gov, len(parts), func(w int, gov *Governor) error {
 		part, leaf := parts[w], leaves[w]
@@ -382,6 +481,7 @@ func (g *Gather) openParallel(parts []Operator, leaves []leafTracker) error {
 		}
 		var out []gatherBatch
 		cur := -1
+		lastBase, seq := int64(-1), int64(0)
 		for {
 			if err := gov.Poll(); err != nil {
 				return err
@@ -400,6 +500,14 @@ func (g *Gather) openParallel(parts []Operator, leaves []leafTracker) error {
 				g.stats.incBatch()
 			}
 			b := &out[len(out)-1]
+			if g.sharded {
+				if base := leaf.currentOrdinal(); base == lastBase {
+					seq++
+				} else {
+					lastBase, seq = base, 0
+				}
+				b.ords = append(b.ords, rowOrd{base: lastBase, seq: seq})
+			}
 			b.rows = append(b.rows, row)
 		}
 		perWorker[w] = out
@@ -424,12 +532,40 @@ func (g *Gather) openParallel(parts []Operator, leaves []leafTracker) error {
 	for _, b := range batches {
 		total += len(b.rows)
 	}
+	if g.sharded {
+		return g.mergeSharded(batches, total)
+	}
 	g.rows = make([][]value.Value, 0, total)
 	for _, b := range batches {
 		if err := g.gov.Poll(); err != nil {
 			return err
 		}
 		g.rows = append(g.rows, b.rows...)
+	}
+	return nil
+}
+
+// mergeSharded reassembles rows across shard-interleaved batches by
+// their base-table ordinals: rows sort by (leaf ordinal, fanout
+// sequence), which is exactly the serial emission order.
+func (g *Gather) mergeSharded(batches []gatherBatch, total int) error {
+	rows := make([][]value.Value, 0, total)
+	ords := make([]rowOrd, 0, total)
+	for _, b := range batches {
+		if err := g.gov.Poll(); err != nil {
+			return err
+		}
+		rows = append(rows, b.rows...)
+		ords = append(ords, b.ords...)
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return ords[idx[x]].less(ords[idx[y]]) })
+	g.rows = make([][]value.Value, len(rows))
+	for i, j := range idx {
+		g.rows[i] = rows[j]
 	}
 	return nil
 }
@@ -464,17 +600,25 @@ func (g *Gather) Close() error {
 }
 
 // Describe implements Operator.
-func (g *Gather) Describe() string { return fmt.Sprintf("Gather[n=%d]", g.N) }
+func (g *Gather) Describe() string {
+	s := fmt.Sprintf("Gather[n=%d]", g.N)
+	if g.Shards > 1 {
+		s += fmt.Sprintf("[shards=%d]", g.Shards)
+	}
+	return s
+}
 
 // ---------------------------------------------------------------------------
 // Partitioned parallel hash-join build
 // ---------------------------------------------------------------------------
 
-// taggedEntry is a build entry tagged with its global right-input
-// ordinal ((morsel << 32) | sequence-within-morsel), used to restore the
-// serial insertion order after the partitioned parallel build.
+// taggedEntry is a build entry tagged with its right-input rowOrd
+// (base-table ordinal of the producing leaf row plus fanout sequence),
+// used to restore the serial insertion order after the partitioned
+// parallel build — including when the right input's morsels arrive
+// interleaved across cluster shards.
 type taggedEntry struct {
-	ord uint64
+	ord rowOrd
 	e   buildEntry
 }
 
@@ -542,8 +686,8 @@ func (b *joinBuild) close(gov *Governor) {
 }
 
 func (b *joinBuild) build(gov *Governor) error {
-	if b.parallelism > 1 {
-		if parts, leaves, ok := splitPipeline(b.right, b.parallelism, b.morselSize); ok {
+	if b.parallelism > 1 || hasShardedLeaf(b.right) {
+		if parts, leaves, ok := splitPipeline(b.right, max(b.parallelism, 1), b.morselSize); ok {
 			return b.buildParallel(gov, parts, leaves)
 		}
 	}
@@ -607,7 +751,8 @@ func (b *joinBuild) buildParallel(gov *Governor, parts []Operator, leaves []leaf
 			return err
 		}
 		local := make([][]taggedEntry, p)
-		lastMorsel, seq := -1, uint64(0)
+		lastBase, seq := int64(-1), int64(0)
+		var workerReserved int64
 		for {
 			if err := g.Poll(); err != nil {
 				return err
@@ -620,11 +765,11 @@ func (b *joinBuild) buildParallel(gov *Governor, parts []Operator, leaves []leaf
 				break
 			}
 			b.stats.addIn(1)
-			if m := leaf.currentMorsel(); m != lastMorsel {
-				lastMorsel, seq = m, 0
+			if base := leaf.currentOrdinal(); base == lastBase {
+				seq++
+			} else {
+				lastBase, seq = base, 0
 			}
-			ord := uint64(lastMorsel)<<32 | seq
-			seq++
 			keys, null, err := evalKeys(b.rk, row)
 			if err != nil {
 				return err
@@ -634,12 +779,16 @@ func (b *joinBuild) buildParallel(gov *Governor, parts []Operator, leaves []leaf
 			}
 			b.reserved.Add(1) // a failed reservation still charges (drainBuffered convention)
 			b.stats.addBuffered(1)
+			workerReserved++
 			if err := g.ReserveBuffered(1); err != nil {
 				return err
 			}
 			h := value.HashRow(keys)
 			pi := h & mask
-			local[pi] = append(local[pi], taggedEntry{ord: ord, e: buildEntry{keys: keys, row: row}})
+			local[pi] = append(local[pi], taggedEntry{ord: rowOrd{base: lastBase, seq: seq}, e: buildEntry{keys: keys, row: row}})
+		}
+		if grp, home := leaf.shardInfo(); grp != nil {
+			grp.buffered[home].Add(workerReserved)
 		}
 		locals[i] = local
 		return nil
@@ -657,7 +806,7 @@ func (b *joinBuild) buildParallel(gov *Governor, parts []Operator, leaves []leaf
 			for _, local := range locals {
 				entries = append(entries, local[pi]...)
 			}
-			sort.Slice(entries, func(x, y int) bool { return entries[x].ord < entries[y].ord })
+			sort.Slice(entries, func(x, y int) bool { return entries[x].ord.less(entries[y].ord) })
 			table := make(map[uint64][]buildEntry, len(entries))
 			for _, te := range entries {
 				if err := g.Poll(); err != nil {
@@ -697,7 +846,7 @@ func (a *HashAggregate) openParallel(parts []Operator, leaves []leafTracker) err
 		}
 		acc := a.newAcc()
 		accs[w] = acc // pre-published so error paths can release acc.reserved
-		lastMorsel, seq := -1, uint64(0)
+		lastBase, seq := int64(-1), int64(0)
 		for {
 			if err := gov.Poll(); err != nil {
 				return err
@@ -707,16 +856,22 @@ func (a *HashAggregate) openParallel(parts []Operator, leaves []leafTracker) err
 				return err
 			}
 			if row == nil {
+				// Shard attribution happens only on clean completion;
+				// a failed query's per-shard stats are never reported.
+				if grp, home := leaf.shardInfo(); grp != nil {
+					grp.buffered[home].Add(acc.reserved)
+				}
 				return nil
 			}
 			a.stats.addIn(1)
-			if m := leaf.currentMorsel(); m != lastMorsel {
-				lastMorsel, seq = m, 0
+			if base := leaf.currentOrdinal(); base == lastBase {
+				seq++
+			} else {
+				lastBase, seq = base, 0
 			}
-			if err := a.accumulate(acc, row, gov, uint64(lastMorsel)<<32|seq); err != nil {
+			if err := a.accumulate(acc, row, gov, rowOrd{base: lastBase, seq: seq}); err != nil {
 				return err
 			}
-			seq++
 		}
 	})
 	for _, acc := range accs {
@@ -754,7 +909,7 @@ func (a *HashAggregate) openParallel(parts []Operator, leaves []leafTracker) err
 			surplus++
 		}
 	}
-	sort.Slice(merged.order, func(i, j int) bool { return merged.order[i].ord < merged.order[j].ord })
+	sort.Slice(merged.order, func(i, j int) bool { return merged.order[i].ord.less(merged.order[j].ord) })
 	a.gov.ReleaseBuffered(surplus)
 	a.reserved -= surplus
 	return a.emit(merged.order)

@@ -197,6 +197,9 @@ func explainAnalyze(b *strings.Builder, op Operator, depth int) {
 		}
 		fmt.Fprintf(b, " morsels=[%s]", strings.Join(parts, " "))
 	}
+	if sc, ok := op.(*Scan); ok && sc.lastGroup != nil {
+		b.WriteString(sc.lastGroup.render())
+	}
 	b.WriteByte('\n')
 	for _, c := range children(op) {
 		explainAnalyze(b, c, depth+1)
@@ -211,6 +214,13 @@ type StatLine struct {
 	Out      int64
 	Batches  int64
 	Buffered int64
+	// ShardRows/ShardClaims break a sharded scan's rows and morsel
+	// claims down per shard. Both are deterministic for a fixed shard
+	// count (the partition and its morsel grid are fixed), unlike the
+	// rebalance count, which depends on worker scheduling and is
+	// reported only through ShardGroupStat.
+	ShardRows   []int64
+	ShardClaims []int64
 }
 
 // StatsTree lists the tree's operators pre-order with their counters —
@@ -228,6 +238,12 @@ func statsTree(op Operator, depth int, out *[]StatLine) {
 		if s := in.opStats(); s != nil {
 			line.In, line.Out = s.RowsIn(), s.RowsOut()
 			line.Batches, line.Buffered = s.Batches(), s.Buffered()
+		}
+	}
+	if sc, ok := op.(*Scan); ok && sc.lastGroup != nil {
+		for s := range sc.lastGroup.shards {
+			line.ShardRows = append(line.ShardRows, sc.lastGroup.rows[s].Load())
+			line.ShardClaims = append(line.ShardClaims, sc.lastGroup.claims[s].Load())
 		}
 	}
 	*out = append(*out, line)

@@ -26,6 +26,18 @@ type Options struct {
 	// parallel, and splittable plan roots are wrapped in an exec.Gather
 	// exchange. Values <= 1 plan strictly serial execution.
 	Parallelism int
+	// Shards is the cluster-shard count for partitioned scans. When > 1
+	// and Sharder is set, every scan leaf carries a shard view: dirty
+	// tables hash-partition rows by cluster id (semantically free under
+	// Dfn 2 — a cluster never splits across shards), clean tables
+	// block-partition, and execution claims morsels per shard with
+	// skew-aware rebalancing. Values <= 1 plan unsharded scans.
+	Shards int
+	// Sharder maps a base table to its shard view. The engine installs a
+	// cached storage.ShardedTable lookup here so repeated queries reuse
+	// partitions until the table version moves. nil disables sharding
+	// regardless of Shards.
+	Sharder func(*storage.Table) exec.ShardView
 }
 
 // Plan builds an executable operator tree for stmt over db.
@@ -55,6 +67,21 @@ type planner struct {
 	db   *storage.DB
 	stmt *sqlparse.SelectStmt
 	opts Options
+}
+
+// sharded reports whether scans should carry shard views.
+func (p *planner) sharded() bool {
+	return p.opts.Shards > 1 && p.opts.Sharder != nil
+}
+
+// newScan builds a scan leaf, attaching the shard view when sharding is
+// on.
+func (p *planner) newScan(tb *storage.Table, alias string) *exec.Scan {
+	sc := exec.NewScan(tb, alias)
+	if p.sharded() {
+		sc.Sharded = p.opts.Sharder(tb)
+	}
+	return sc
 }
 
 // tableSource tracks one FROM entry through join planning.
@@ -98,9 +125,13 @@ func (p *planner) plan() (exec.Operator, error) {
 	}
 	// Parallelize a splittable pipeline root (scan→filter→project plans;
 	// aggregate plans instead parallelize inside HashAggregate) with a
-	// Gather exchange below DISTINCT/ORDER BY/LIMIT.
-	if p.opts.Parallelism > 1 && exec.CanSplit(root) {
-		root = exec.NewGather(root, p.opts.Parallelism)
+	// Gather exchange below DISTINCT/ORDER BY/LIMIT. Sharded plans need
+	// the exchange even at parallelism 1: per-shard claim accounting
+	// requires morsel execution.
+	if (p.opts.Parallelism > 1 || p.sharded()) && exec.CanSplit(root) {
+		g := exec.NewGather(root, max(p.opts.Parallelism, 1))
+		g.Shards = p.opts.Shards
+		root = g
 	}
 	if p.stmt.Distinct {
 		root = exec.NewDistinct(root)
@@ -253,7 +284,7 @@ func asEquiJoin(e sqlparse.Expr, sources []*tableSource) (joinEdge, bool) {
 // disconnected components fall back to cross joins.
 func (p *planner) buildJoinTree(sources []*tableSource, edges []joinEdge) (exec.Operator, error) {
 	scan := func(s *tableSource) (exec.Operator, error) {
-		var op exec.Operator = exec.NewScan(s.table, s.ref.Alias)
+		var op exec.Operator = p.newScan(s.table, s.ref.Alias)
 		if len(s.filters) > 0 {
 			f, err := exec.NewFilter(op, sqlparse.AndAll(s.filters))
 			if err != nil {
@@ -371,7 +402,7 @@ func (p *planner) join(outer exec.Operator, src *tableSource, outerKeys, innerKe
 			}
 		}
 	}
-	inner := exec.NewScan(src.table, src.ref.Alias)
+	inner := p.newScan(src.table, src.ref.Alias)
 	var innerOp exec.Operator = inner
 	if len(src.filters) > 0 {
 		f, err := exec.NewFilter(innerOp, sqlparse.AndAll(src.filters))

@@ -46,12 +46,14 @@ func AnnotateTable(tb *storage.Table, attrCols []string, d Distance) error {
 // makes the cost quadratic in cluster size) poll ctx, so annotation of a
 // large relation can be canceled or run under a deadline.
 func AnnotateTableCtx(ctx context.Context, tb *storage.Table, attrCols []string, d Distance) error {
-	return annotateTable(ctx, tb, attrCols, d, 1)
+	return annotateTable(ctx, tb, attrCols, d, 1, 1)
 }
 
-// annotateTable is the shared implementation behind AnnotateTableCtx and
-// AnnotateTableParCtx; parallelism <= 1 keeps the assignment serial.
-func annotateTable(ctx context.Context, tb *storage.Table, attrCols []string, d Distance, parallelism int) error {
+// annotateTable is the shared implementation behind AnnotateTableCtx,
+// AnnotateTableParCtx and AnnotateTableShardedCtx; parallelism <= 1
+// keeps the assignment serial, shards > 1 partitions the cluster
+// worklist with the executor's shard placement.
+func annotateTable(ctx context.Context, tb *storage.Table, attrCols []string, d Distance, shards, parallelism int) error {
 	rel := tb.Schema
 	idIdx := rel.IdentifierIndex()
 	probIdx := rel.ProbIndex()
@@ -97,7 +99,7 @@ func annotateTable(ctx context.Context, tb *storage.Table, attrCols []string, d 
 		clusterIDs[i] = row[idIdx].String()
 	}
 
-	assignments, err := AssignProbabilitiesParCtx(ctx, ds, clusterIDs, d, parallelism)
+	assignments, err := AssignProbabilitiesShardedCtx(ctx, ds, clusterIDs, d, shards, parallelism)
 	if err != nil {
 		return err
 	}

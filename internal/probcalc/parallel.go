@@ -69,58 +69,67 @@ func AssignProbabilitiesPar(ds *Dataset, clusterIDs []string, d Distance, parall
 	return AssignProbabilitiesParCtx(context.Background(), ds, clusterIDs, d, parallelism)
 }
 
-// AssignProbabilitiesParCtx runs the Figure-5 procedure with a worker
-// pool claiming one cluster at a time. Results are bit-identical to the
-// serial pass: DCF construction and information-loss distances never
-// cross cluster boundaries (Dfn 2 makes clusters independent worlds),
-// so each cluster's arithmetic is the same instruction stream regardless
-// of which worker runs it. The first worker error (or a cancellation)
-// drains the pool; panics cross the goroutine boundary only through
-// qerr.Recover.
-func AssignProbabilitiesParCtx(ctx context.Context, ds *Dataset, clusterIDs []string, d Distance, parallelism int) ([]Assignment, error) {
-	if len(clusterIDs) != ds.Len() {
-		return nil, fmt.Errorf("probcalc: %d cluster ids for %d tuples", len(clusterIDs), ds.Len())
+// claimBatch sizes a worker pool's per-claim cluster batch: enough
+// clusters per atomic claim that claim traffic stops dominating small
+// clusters (many tables have thousands of 2-3 row clusters), small
+// enough that every worker still sees ~2 claims for balance, capped at
+// 64.
+func claimBatch(clusters, workers int) int {
+	b := clusters / (2 * workers)
+	if b > 64 {
+		b = 64
 	}
-	if d == nil {
-		d = InformationLoss
+	if b < 1 {
+		b = 1
 	}
-	order, rowsOf := groupClusters(clusterIDs)
-	if parallelism > len(order) {
-		parallelism = len(order)
+	return b
+}
+
+// runClusterPool drains one cluster worklist with workers goroutines,
+// each claiming claimBatch-sized runs of clusters off a shared counter,
+// writing assignments into out. workers <= 1 runs serially. The first
+// worker error (or a cancellation) drains the pool; panics cross the
+// goroutine boundary only through qerr.Recover.
+func (ds *Dataset) runClusterPool(ctx context.Context, order []string, rowsOf map[string][]int, d Distance, total int, out []Assignment, workers int) error {
+	if workers > len(order) {
+		workers = len(order)
 	}
-	out := make([]Assignment, ds.Len())
-	total := ds.Len()
-	if parallelism <= 1 {
+	if workers <= 1 {
 		var tick qerr.Ticker
 		for _, cid := range order {
 			if err := ds.assignCluster(ctx, &tick, cid, rowsOf[cid], d, total, out); err != nil {
-				return nil, err
+				return err
 			}
 		}
-		return out, nil
+		return nil
 	}
-
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	batch := claimBatch(len(order), workers)
 	var next atomic.Int64
-	errs := make(chan error, parallelism)
-	for w := 0; w < parallelism; w++ {
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
 		go func() {
 			var err error
 			func() {
 				defer qerr.Recover(&err)
 				var tick qerr.Ticker
 				for {
-					c := int(next.Add(1)) - 1
-					if c >= len(order) {
+					lo := int(next.Add(int64(batch))) - batch
+					if lo >= len(order) {
 						return
 					}
-					if err = tick.Poll(wctx); err != nil {
-						return
+					hi := lo + batch
+					if hi > len(order) {
+						hi = len(order)
 					}
-					cid := order[c]
-					if err = ds.assignCluster(wctx, &tick, cid, rowsOf[cid], d, total, out); err != nil {
-						return
+					for _, cid := range order[lo:hi] {
+						if err = tick.Poll(wctx); err != nil {
+							return
+						}
+						if err = ds.assignCluster(wctx, &tick, cid, rowsOf[cid], d, total, out); err != nil {
+							return
+						}
 					}
 				}
 			}()
@@ -131,7 +140,95 @@ func AssignProbabilitiesParCtx(ctx context.Context, ds *Dataset, clusterIDs []st
 		}()
 	}
 	var first error
-	for w := 0; w < parallelism; w++ {
+	for w := 0; w < workers; w++ {
+		err := <-errs
+		switch {
+		case err == nil:
+		case first == nil:
+			first = err
+		case errors.Is(first, qerr.ErrCanceled) && !errors.Is(err, qerr.ErrCanceled):
+			first = err
+		}
+	}
+	return first
+}
+
+// AssignProbabilitiesParCtx runs the Figure-5 procedure with a worker
+// pool claiming batches of clusters at a time. Results are bit-identical
+// to the serial pass: DCF construction and information-loss distances
+// never cross cluster boundaries (Dfn 2 makes clusters independent
+// worlds), so each cluster's arithmetic is the same instruction stream
+// regardless of which worker runs it.
+func AssignProbabilitiesParCtx(ctx context.Context, ds *Dataset, clusterIDs []string, d Distance, parallelism int) ([]Assignment, error) {
+	if len(clusterIDs) != ds.Len() {
+		return nil, fmt.Errorf("probcalc: %d cluster ids for %d tuples", len(clusterIDs), ds.Len())
+	}
+	if d == nil {
+		d = InformationLoss
+	}
+	order, rowsOf := groupClusters(clusterIDs)
+	out := make([]Assignment, ds.Len())
+	if err := ds.runClusterPool(ctx, order, rowsOf, d, ds.Len(), out, parallelism); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AssignProbabilitiesShardedCtx partitions the cluster worklist with the
+// executor's shard placement (storage.ShardOf over the cluster id) and
+// runs one worker pool per shard concurrently, workers allotted
+// proportionally to each shard's cluster count. Because every cluster's
+// arithmetic is independent (Dfn 2 again), the partition changes only
+// scheduling: results stay bit-identical to the serial pass at every
+// shard count. ONE global dataset must back all shards — assignCluster
+// normalizes against the total tuple count.
+func AssignProbabilitiesShardedCtx(ctx context.Context, ds *Dataset, clusterIDs []string, d Distance, shards, parallelism int) ([]Assignment, error) {
+	if shards <= 1 {
+		return AssignProbabilitiesParCtx(ctx, ds, clusterIDs, d, parallelism)
+	}
+	if len(clusterIDs) != ds.Len() {
+		return nil, fmt.Errorf("probcalc: %d cluster ids for %d tuples", len(clusterIDs), ds.Len())
+	}
+	if d == nil {
+		d = InformationLoss
+	}
+	order, rowsOf := groupClusters(clusterIDs)
+	parts := make([][]string, shards)
+	for _, cid := range order {
+		s := storage.ShardOf(cid, shards)
+		parts[s] = append(parts[s], cid)
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	out := make([]Assignment, ds.Len())
+	total := ds.Len()
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make(chan error, shards)
+	pools := 0
+	for s := 0; s < shards; s++ {
+		part := parts[s]
+		if len(part) == 0 {
+			continue
+		}
+		// Proportional allotment, at least one worker per non-empty
+		// shard; the total can exceed parallelism by at most shards-1.
+		workers := parallelism * len(part) / len(order)
+		if workers < 1 {
+			workers = 1
+		}
+		pools++
+		go func() {
+			err := ds.runClusterPool(wctx, part, rowsOf, d, total, out, workers)
+			if err != nil {
+				cancel()
+			}
+			errs <- err
+		}()
+	}
+	var first error
+	for p := 0; p < pools; p++ {
 		err := <-errs
 		switch {
 		case err == nil:
@@ -174,10 +271,25 @@ func AnnotateTablePar(tb *storage.Table, attrCols []string, d Distance, parallel
 }
 
 // AnnotateTableParCtx is AnnotateTableCtx with the probability
-// assignment fanned out across parallelism workers, one task per
-// cluster. The dataset build and the probability-column writeback stay
+// assignment fanned out across parallelism workers claiming batches of
+// clusters. The dataset build and the probability-column writeback stay
 // serial: the former is a single linear scan, the latter must not race
 // UpdateColumn's index maintenance.
 func AnnotateTableParCtx(ctx context.Context, tb *storage.Table, attrCols []string, d Distance, parallelism int) error {
-	return annotateTable(ctx, tb, attrCols, d, parallelism)
+	return annotateTable(ctx, tb, attrCols, d, 1, parallelism)
+}
+
+// AnnotateTableSharded is AnnotateTableShardedCtx without a context.
+func AnnotateTableSharded(tb *storage.Table, attrCols []string, d Distance, shards, parallelism int) error {
+	return AnnotateTableShardedCtx(context.Background(), tb, attrCols, d, shards, parallelism)
+}
+
+// AnnotateTableShardedCtx is AnnotateTableParCtx with the per-cluster
+// worklist partitioned by the executor's shard placement
+// (storage.ShardOf over the cluster id) and one worker pool per shard.
+// One global dataset still backs every shard — the Figure-5 arithmetic
+// normalizes against the table's total tuple count — so probabilities
+// are bit-identical to the serial pass at every shard count.
+func AnnotateTableShardedCtx(ctx context.Context, tb *storage.Table, attrCols []string, d Distance, shards, parallelism int) error {
+	return annotateTable(ctx, tb, attrCols, d, shards, parallelism)
 }

@@ -152,3 +152,80 @@ func TestAnnotateTableParMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// The sharded pass partitions the cluster worklist the way the executor
+// partitions rows; like the plain parallel pass it must stay
+// bit-identical to serial at every (shards, parallelism) combination.
+func TestAssignProbabilitiesShardedMatchesSerial(t *testing.T) {
+	ds, ids := parDataset(t, 600)
+	want, err := AssignProbabilities(ds, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4, 7} {
+		for _, par := range []int{1, 4, 8} {
+			got, err := AssignProbabilitiesShardedCtx(context.Background(), ds, ids, nil, shards, par)
+			if err != nil {
+				t.Fatalf("shards=%d par=%d: %v", shards, par, err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d par=%d: assignment %d differs:\nwant %+v\ngot  %+v",
+						shards, par, i, want[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+func TestAssignProbabilitiesShardedCanceled(t *testing.T) {
+	ds, ids := parDataset(t, 600)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := AssignProbabilitiesShardedCtx(ctx, ds, ids, nil, 4, 4)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("want qerr.ErrCanceled, got %v", err)
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i >= 100 {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAnnotateTableShardedMatchesSerial(t *testing.T) {
+	serial, sharded := parTable(t, 400), parTable(t, 400)
+	if err := AnnotateTable(serial, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := AnnotateTableSharded(sharded, nil, nil, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	probIdx := serial.Schema.ProbIndex()
+	for i := 0; i < serial.Len(); i++ {
+		w, g := serial.Row(i)[probIdx], sharded.Row(i)[probIdx]
+		if w.AsFloat() != g.AsFloat() {
+			t.Fatalf("row %d: serial prob %v, sharded prob %v", i, w, g)
+		}
+	}
+}
+
+// claimBatch must stay within [1, 64] and give every worker work.
+func TestClaimBatchBounds(t *testing.T) {
+	cases := []struct{ clusters, workers, want int }{
+		{10, 4, 1},
+		{1000, 4, 64},
+		{256, 4, 32},
+		{3, 8, 1},
+	}
+	for _, c := range cases {
+		if got := claimBatch(c.clusters, c.workers); got != c.want {
+			t.Errorf("claimBatch(%d, %d) = %d, want %d", c.clusters, c.workers, got, c.want)
+		}
+	}
+}

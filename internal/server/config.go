@@ -38,6 +38,11 @@ type Config struct {
 	// Parallelism is the per-query morsel parallelism handed to each
 	// tenant engine (0 = GOMAXPROCS, 1 = serial).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Shards is the per-query cluster-shard count handed to each tenant
+	// engine (0 = GOMAXPROCS, 1 = unsharded). Sharding never changes
+	// results — only scheduling and the per-shard cost accounting the
+	// admission watermark consumes.
+	Shards int `json:"shards,omitempty"`
 	// QueryLog, when non-nil, receives one JSON line per request —
 	// executed queries (written by the engine, tagged with tenant and
 	// queue wait via the query context) and shed requests (written by

@@ -165,6 +165,7 @@ func New(store *storage.DB, cfg Config) (*Server, error) {
 			eng: engine.NewWithOptions(tstore, engine.Options{
 				Limits:      lim,
 				Parallelism: cfg.Parallelism,
+				Shards:      cfg.Shards,
 				QueryLog:    cfg.QueryLog,
 			}),
 			ddb: dirty.New(tstore),
@@ -290,6 +291,7 @@ type QueryStats struct {
 	ExecMicros   int64 `json:"exec_us"`
 	QueuedMicros int64 `json:"queued_us"`
 	Parallelism  int   `json:"par,omitempty"`
+	Shards       int   `json:"shards,omitempty"`
 	Cached       bool  `json:"cached,omitempty"`
 }
 
@@ -396,7 +398,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	s.cost.observe(res.Stats.BufferedPeak, time.Since(start))
+	s.cost.observe(observedCost(res.Stats), time.Since(start))
 	writeJSON(w, QueryResponse{
 		Columns: res.Columns,
 		Rows:    rowsToAny(res.Rows),
@@ -405,6 +407,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			ExecMicros:   res.Stats.ExecTime.Microseconds(),
 			QueuedMicros: tk.queued.Microseconds(),
 			Parallelism:  res.Stats.Parallelism,
+			Shards:       res.Stats.Shards,
 			Cached:       res.Stats.Cached,
 		},
 	})

@@ -439,6 +439,69 @@ func TestMemoryWatermarkSheds(t *testing.T) {
 	}
 }
 
+// The watermark regression under sharding (satellite of the sharded
+// execution work): with cluster-sharded engines the cost model is seeded
+// by observedCost — the per-shard buffered maximum when one was
+// attributed, the global peak otherwise. A sort-heavy workload buffers
+// above the sharded leaves, so the seed stays the global ~200-row peak
+// and the second concurrent query must shed at exactly the same
+// 300-row watermark as the unsharded test above.
+func TestMemoryWatermarkShedsSharded(t *testing.T) {
+	store := bigStore(t, 200)
+	cfg := Config{
+		Tenants:             []TenantConfig{{Name: "acme", Key: "acme-key", Preset: "standard"}},
+		MaxConcurrent:       2,
+		MaxQueue:            50,
+		MemoryWatermarkRows: 300,
+		Shards:              2,
+		Registry:            metrics.NewRegistry(),
+	}
+	srv, err := New(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id, val from big order by val"}); rec.Code != http.StatusOK {
+		t.Fatalf("seed query: status = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	store.SetInjector(slowInjector{perRow: 500 * time.Microsecond})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id, val from big order by val"})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	rec := doJSON(t, srv, "POST", "/v1/query", "acme-key", queryRequest{SQL: "select id, val from big order by val"})
+	wg.Wait()
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second concurrent sharded query: status = %d, want 429: %s", rec.Code, rec.Body.String())
+	}
+	if b := decodeError(t, rec); !strings.Contains(b.Error, "watermark") {
+		t.Errorf("shed body should name the watermark: %q", b.Error)
+	}
+}
+
+// observedCost prefers the per-shard buffered maximum only when a
+// sharded pipeline actually attributed one below the global peak.
+func TestObservedCostSeeding(t *testing.T) {
+	cases := []struct {
+		name string
+		st   engine.Stats
+		want int64
+	}{
+		{"unsharded", engine.Stats{BufferedPeak: 500}, 500},
+		{"sharded build", engine.Stats{BufferedPeak: 500, ShardBufferedMax: 130}, 130},
+		{"no attribution", engine.Stats{BufferedPeak: 500, ShardBufferedMax: 0}, 500},
+		{"attribution above peak", engine.Stats{BufferedPeak: 200, ShardBufferedMax: 400}, 200},
+	}
+	for _, c := range cases {
+		if got := observedCost(c.st); got != c.want {
+			t.Errorf("%s: observedCost = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
 // Sanity-check /v1/clean end to end over the paper's Figure 2 database,
 // including the query-log line the server writes for it.
 func TestCleanEndpoint(t *testing.T) {

@@ -1,0 +1,132 @@
+package storage
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"conquer/internal/value"
+)
+
+// Shard is one partition of a ShardedTable: a plain Table holding a
+// subset of the base table's rows (the row slices are shared, not
+// copied) plus the base-table ordinal of each shard row. The ordinals
+// let the executor reconstruct the base table's serial row order after
+// scatter/gather, which is what keeps sharded results byte-identical
+// to unsharded execution.
+type Shard struct {
+	Table *Table
+	Ords  []int64
+}
+
+// ShardOf returns the shard index for a cluster identifier. The hash is
+// FNV-1a over the identifier's textual form, so the same cluster always
+// lands on the same shard — the property that makes cluster-partitioned
+// execution semantically free under Dfn 2 (a tuple's clean-answer
+// probability depends only on its own cluster, and a cluster is never
+// split across shards). Exported so probcalc can partition its
+// per-cluster annotation worklist with the identical placement.
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}
+
+// ShardedTable is an N-way partitioned view of a base Table. Dirty
+// tables (those with an identifier column) are hash-partitioned by
+// cluster id via ShardOf; clean tables are block-partitioned into N
+// contiguous ranges. Each shard is backed by an ordinary Table sharing
+// the base's row slices and fault injector, so per-shard scans go
+// through the same seams as unsharded ones.
+//
+// The view is lazily (re)built: Shards() compares the base table's
+// mutation counter against the version the partitions were built from
+// and rebuilds when the base has moved. The view carries its own
+// version counter, bumped on every rebuild, so cache layers observing
+// the view see the same monotonic contract as a plain Table.
+type ShardedTable struct {
+	base *Table
+	n    int
+
+	mu          sync.Mutex
+	shards      []*Shard
+	baseVersion int64
+
+	version atomic.Int64
+}
+
+// NewShardedTable creates an N-way sharded view of base. n < 1 is
+// treated as 1. The partitions are built on first use.
+func NewShardedTable(base *Table, n int) *ShardedTable {
+	if n < 1 {
+		n = 1
+	}
+	return &ShardedTable{base: base, n: n}
+}
+
+// Base returns the underlying table.
+func (st *ShardedTable) Base() *Table { return st.base }
+
+// NumShards returns the shard count N.
+func (st *ShardedTable) NumShards() int { return st.n }
+
+// Version returns the view's mutation counter (bumped on every
+// partition rebuild).
+func (st *ShardedTable) Version() int64 { return st.version.Load() }
+
+// bump records one mutation of the view.
+func (st *ShardedTable) bump() { st.version.Add(1) }
+
+// Shards returns the current partitions, rebuilding them first if the
+// base table has been mutated since they were last built. The rebuild
+// cannot fail — partitioning is a pure function of the rows — so the
+// call is infallible, which lets the executor consume the view inside
+// seams that have no error return.
+func (st *ShardedTable) Shards() []*Shard {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.shards == nil || st.baseVersion != st.base.Version() {
+		st.rebuild()
+		st.bump()
+	}
+	return st.shards
+}
+
+// rebuild recomputes the partitions from the base table's current rows.
+// Callers must hold st.mu and bump() the view afterwards.
+func (st *ShardedTable) rebuild() {
+	idIdx := st.base.Schema.IdentifierIndex()
+	total := st.base.Len()
+	parts := make([][][]value.Value, st.n)
+	ords := make([][]int64, st.n)
+	if idIdx >= 0 {
+		for i := 0; i < total; i++ {
+			row := st.base.Row(i)
+			s := ShardOf(row[idIdx].String(), st.n)
+			parts[s] = append(parts[s], row)
+			ords[s] = append(ords[s], int64(i))
+		}
+	} else {
+		// Clean tables carry no cluster structure; block-partition so
+		// each shard scans a contiguous ordinal range.
+		for s := 0; s < st.n; s++ {
+			lo, hi := s*total/st.n, (s+1)*total/st.n
+			for i := lo; i < hi; i++ {
+				parts[s] = append(parts[s], st.base.Row(i))
+				ords[s] = append(ords[s], int64(i))
+			}
+		}
+	}
+	shards := make([]*Shard, st.n)
+	for s := 0; s < st.n; s++ {
+		tb := NewTable(st.base.Schema)
+		tb.inj = st.base.inj
+		tb.rows = parts[s]
+		shards[s] = &Shard{Table: tb, Ords: ords[s]}
+	}
+	st.shards = shards
+	st.baseVersion = st.base.Version()
+}

@@ -97,6 +97,87 @@ func TestParallelExecutionDeterministic(t *testing.T) {
 	}
 }
 
+// TestShardedExecutionDeterministic extends the determinism suite along
+// the shard axis: all thirteen evaluation query pairs at every point of
+// the shards {1,2,4} × parallelism {1,2,8} grid must match the
+// serial, unsharded baseline row for row — byte-identical except floats
+// within ProbEpsilon. This is the executable form of DESIGN.md §14's
+// claim that cluster-hash sharding is a pure scheduling knob.
+func TestShardedExecutionDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a TPC-H workload")
+	}
+	d := determinismWorkload(t)
+	pairs, err := bench.PreparePairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := engine.NewWithOptions(d.Store, engine.Options{Parallelism: 1, Shards: 1})
+	type baseline struct{ orig, rew *engine.Result }
+	want := map[int]baseline{}
+	for _, p := range pairs {
+		orig, err := serial.QueryStmt(p.Original)
+		if err != nil {
+			t.Fatalf("Q%d original serial: %v", p.Number, err)
+		}
+		rew, err := serial.QueryStmt(p.Rewritten)
+		if err != nil {
+			t.Fatalf("Q%d rewritten serial: %v", p.Number, err)
+		}
+		want[p.Number] = baseline{orig: orig, rew: rew}
+	}
+	for _, sh := range []int{1, 2, 4} {
+		for _, n := range []int{1, 2, 8} {
+			eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: n, Shards: sh})
+			for _, p := range pairs {
+				got, err := eng.QueryStmt(p.Original)
+				if err != nil {
+					t.Fatalf("Q%d original shards=%d n=%d: %v", p.Number, sh, n, err)
+				}
+				sameResult(t, fmt.Sprintf("Q%d original shards=%d n=%d", p.Number, sh, n), want[p.Number].orig, got)
+
+				got, err = eng.QueryStmt(p.Rewritten)
+				if err != nil {
+					t.Fatalf("Q%d rewritten shards=%d n=%d: %v", p.Number, sh, n, err)
+				}
+				sameResult(t, fmt.Sprintf("Q%d rewritten shards=%d n=%d", p.Number, sh, n), want[p.Number].rew, got)
+			}
+		}
+	}
+}
+
+// TestShardedQueryCancellation cancels mid-gather under a sharded plan:
+// the error must surface as qerr.ErrCanceled and every shard worker must
+// exit — the sharded counterpart of TestParallelQueryCancellation.
+func TestShardedQueryCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("generates a TPC-H workload")
+	}
+	d := determinismWorkload(t)
+	eng := engine.NewWithOptions(d.Store, engine.Options{Parallelism: 8, Shards: 4})
+	q := "select l.l_orderkey, l.l_extendedprice from lineitem l where l.l_quantity > 0"
+	if plan, err := eng.Explain(q); err != nil {
+		t.Fatal(err)
+	} else if !strings.Contains(plan, "shards=4") {
+		t.Fatalf("plan should be sharded:\n%s", plan)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.QueryCtx(ctx, q); !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("want qerr.ErrCanceled, got %v", err)
+	}
+	for i := 0; ; i++ {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if i >= 100 {
+			t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 // TestParallelQueryCancellation proves a mid-query cancellation under a
 // parallel plan surfaces as qerr.ErrCanceled and leaks no workers — the
 // engine-level counterpart of the exec-layer Gather cancellation test.
