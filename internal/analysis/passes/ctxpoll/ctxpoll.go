@@ -15,6 +15,16 @@
 // already observed. Loops that are genuinely bounded — fixed-width
 // schema iteration, per-column work — carry a "//lint:allow ctxpoll"
 // annotation with a reason.
+//
+// Batch-at-a-time execution (DESIGN.md §15) amortizes polling to one
+// check per batch, so NextBatch methods get their own cadence rule:
+// every batch-puller loop — one that advances child data through Next,
+// NextBatch or NextBatchOf — must poll per iteration (an unpolled
+// puller can skip empty or filtered-out child batches for as long as
+// the child produces, unbounded by the batch in hand), while loops
+// that only walk the batch already in memory are bounded by its
+// capacity and need no poll. A NextBatch that neither polls nor pulls
+// is flagged too: it would emit batches invisible to cancellation.
 package ctxpoll
 
 import (
@@ -33,12 +43,27 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // pollers are the callees that count as a cancellation check: the
-// governor's amortized poll, the qerr ticker behind it, and the
-// buffering helper that polls internally while draining a child.
+// governor's amortized poll and its batch-cadence variants (PollBatch
+// checks the context once per batch, PollLeaf keeps the per-row ticker
+// cadence inside batch fill loops), the qerr ticker behind them, and
+// the buffering helpers that poll internally while draining a child.
 var pollers = map[string]bool{
-	"Poll":            true,
-	"drainBuffered":   true,
-	"CollectGoverned": true,
+	"Poll":                   true,
+	"PollBatch":              true,
+	"PollLeaf":               true,
+	"drainBuffered":          true,
+	"drainBatches":           true,
+	"CollectGoverned":        true,
+	"CollectBatchesGoverned": true,
+}
+
+// batchPullers are the callees that advance child data through a batch
+// pipeline; a loop calling one without polling can outlive cancellation
+// by the child's whole input.
+var batchPullers = map[string]bool{
+	"Next":        true,
+	"NextBatch":   true,
+	"NextBatchOf": true,
 }
 
 func run(pass *analysis.Pass) (any, error) {
@@ -56,6 +81,9 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			if fd.Recv != nil && (fd.Name.Name == "Open" || fd.Name.Name == "Next") {
 				checkLoops(pass, fd)
+			}
+			if fd.Recv != nil && fd.Name.Name == "NextBatch" {
+				checkBatchLoops(pass, fd)
 			}
 			checkWorkerFuncs(pass, fd)
 		}
@@ -86,6 +114,39 @@ func checkLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		// A polling outer loop vouches for its inner loops too: the
 		// amortized ticker advances wherever the Poll call sits.
+		return false
+	})
+}
+
+// checkBatchLoops enforces the batch cadence on a NextBatch method:
+// the method must reach a poll or a child pull somewhere (one poll per
+// batch is the amortization contract), and every batch-puller loop must
+// poll per iteration. Loops that neither poll nor pull only walk the
+// batch already in hand — bounded by its capacity, not the data size —
+// and pass without annotation.
+func checkBatchLoops(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if !polls(fd.Body) && !pulls(fd.Body) {
+		pass.Reportf(fd.Pos(), "%s.NextBatch neither polls cancellation nor pulls a child; call the governor's PollBatch once per batch", recvType(fd))
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var pos token.Pos
+		switch l := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			body, pos = l.Body, l.For
+		case *ast.RangeStmt:
+			body, pos = l.Body, l.For
+		default:
+			return true
+		}
+		if pulls(body) && !polls(body) {
+			pass.Reportf(pos, "batch-puller loop in %s.NextBatch does not poll cancellation; call the governor's PollBatch once per iteration", recvType(fd))
+		}
+		// A polling (or already-reported) outer loop vouches for its
+		// inner loops, exactly as in checkLoops.
 		return false
 	})
 }
@@ -140,7 +201,15 @@ func checkWorkerLoops(pass *analysis.Pass, fd *ast.FuncDecl, lit *ast.FuncLit) {
 }
 
 // polls reports whether the block contains a call to a polling callee.
-func polls(body *ast.BlockStmt) bool {
+func polls(body *ast.BlockStmt) bool { return callsAny(body, pollers) }
+
+// pulls reports whether the block contains a call advancing child data
+// (directly or in a nested statement).
+func pulls(body *ast.BlockStmt) bool { return callsAny(body, batchPullers) }
+
+// callsAny reports whether the block contains a call to any callee in
+// names.
+func callsAny(body *ast.BlockStmt, names map[string]bool) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
@@ -149,11 +218,11 @@ func polls(body *ast.BlockStmt) bool {
 		}
 		switch fun := call.Fun.(type) {
 		case *ast.SelectorExpr:
-			if pollers[fun.Sel.Name] {
+			if names[fun.Sel.Name] {
 				found = true
 			}
 		case *ast.Ident:
-			if pollers[fun.Name] {
+			if names[fun.Name] {
 				found = true
 			}
 		}

@@ -6,7 +6,9 @@ package exec
 // governor stands in for the real exec.Governor.
 type governor struct{}
 
-func (g *governor) Poll() error { return nil }
+func (g *governor) Poll() error      { return nil }
+func (g *governor) PollBatch() error { return nil }
+func (g *governor) PollLeaf() error  { return nil }
 
 // Row is a placeholder row type.
 type Row []int
@@ -137,6 +139,133 @@ func GoodPoolWorker(rows []Row) error {
 		}
 		return nil
 	})
+}
+
+// Batch stands in for the real exec.Batch.
+type Batch struct{ rows []Row }
+
+func (b *Batch) Len() int     { return len(b.rows) }
+func (b *Batch) Full() bool   { return len(b.rows) >= 4 }
+func (b *Batch) Reset()       { b.rows = b.rows[:0] }
+func (b *Batch) Append(r Row) { b.rows = append(b.rows, r) }
+
+// NextBatchOf stands in for the real batch dispatch helper; the
+// adapter loop of a plain function is not the analyzer's business (the
+// pulled child polls for itself).
+func NextBatchOf(next func() (Row, error), b *Batch) error {
+	b.Reset()
+	for !b.Full() {
+		r, err := next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			return nil
+		}
+		b.Append(r)
+	}
+	return nil
+}
+
+// BadBatchFilter pulls child batches in a loop without polling — the
+// batch-mode violation ctxpoll exists for: empty or filtered-out child
+// batches keep the loop spinning unbounded by the batch in hand.
+type BadBatchFilter struct {
+	child func() (Row, error)
+}
+
+// NextBatch skips empty child batches, never polling.
+func (f *BadBatchFilter) NextBatch(b *Batch) error {
+	for { // want `batch-puller loop in BadBatchFilter.NextBatch does not poll cancellation`
+		if err := NextBatchOf(f.child, b); err != nil {
+			return err
+		}
+		if b.Len() != 1 {
+			return nil
+		}
+	}
+}
+
+// GoodBatchFilter polls once per pulled batch — the amortized cadence
+// batching exists for.
+type GoodBatchFilter struct {
+	gov   *governor
+	child func() (Row, error)
+}
+
+// NextBatch polls at the top of the puller loop.
+func (f *GoodBatchFilter) NextBatch(b *Batch) error {
+	for {
+		if err := f.gov.PollBatch(); err != nil {
+			return err
+		}
+		if err := NextBatchOf(f.child, b); err != nil {
+			return err
+		}
+		if b.Len() != 1 {
+			return nil
+		}
+	}
+}
+
+// GoodBatchScan keeps the ticker-amortized per-row poll inside its fill
+// loop: leaves are the only per-row pollers of a batch pipeline.
+type GoodBatchScan struct {
+	gov  *governor
+	rows []Row
+	pos  int
+}
+
+// NextBatch fills b from the table, polling per row.
+func (s *GoodBatchScan) NextBatch(b *Batch) error {
+	b.Reset()
+	for !b.Full() && s.pos < len(s.rows) {
+		if err := s.gov.PollLeaf(); err != nil {
+			return err
+		}
+		b.Append(s.rows[s.pos])
+		s.pos++
+	}
+	return nil
+}
+
+// GoodBatchProject polls once per batch; its copy loop only walks the
+// batch in hand — bounded by the batch capacity, not the data size — so
+// it needs neither a poll nor an annotation.
+type GoodBatchProject struct {
+	gov   *governor
+	child func() (Row, error)
+}
+
+// NextBatch projects one pulled batch.
+func (p *GoodBatchProject) NextBatch(b *Batch) error {
+	if err := p.gov.PollBatch(); err != nil {
+		return err
+	}
+	if err := NextBatchOf(p.child, b); err != nil {
+		return err
+	}
+	for i := 0; i < b.Len(); i++ {
+		_ = b.rows[i]
+	}
+	return nil
+}
+
+// BadBatchEmitter neither polls nor pulls: its batches would be
+// invisible to cancellation for the whole emission phase.
+type BadBatchEmitter struct {
+	rows []Row
+	pos  int
+}
+
+// NextBatch emits materialized rows without ever touching the governor.
+func (e *BadBatchEmitter) NextBatch(b *Batch) error { // want `BadBatchEmitter.NextBatch neither polls cancellation nor pulls a child`
+	b.Reset()
+	if e.pos < len(e.rows) {
+		b.Append(e.rows[e.pos])
+		e.pos++
+	}
+	return nil
 }
 
 // goodGather mirrors Gather.openParallel: the worker's collection loop

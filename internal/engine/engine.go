@@ -42,6 +42,12 @@ type Options struct {
 	// only scheduling. Shard views are cached per table and rebuilt when
 	// the table version moves.
 	Shards int
+	// BatchSize tunes batch-at-a-time execution: 0 resolves to
+	// exec.DefaultBatchSize, positive values set the rows per batch, and
+	// negative values force row-at-a-time execution (the baseline the
+	// bench suite compares against). Results are identical either way;
+	// batching only amortizes per-row overheads (DESIGN.md §15).
+	BatchSize int
 	// NoInstrument disables per-operator instrumentation. Instrumentation
 	// is on by default — the counters are plain atomic adds and the bench
 	// suite guards the overhead — but benchmarks comparing instrumented
@@ -123,6 +129,7 @@ func (e *Engine) planOptions() plan.Options {
 			return e.shardedView(tb, n)
 		}
 	}
+	opts.BatchSize = e.opts.BatchSize
 	return opts
 }
 
@@ -188,6 +195,12 @@ type Stats struct {
 	// Zero when no sharded pipeline buffered rows; zeroed on cached
 	// results.
 	ShardBufferedMax int64
+	// BatchSize is the resolved rows-per-batch the query ran with (0
+	// means row-at-a-time execution).
+	BatchSize int
+	// Batches counts the output batches the root produced (0 in row
+	// mode or on cached results).
+	Batches int64
 }
 
 // Query parses, plans and executes sql without cancellation.
@@ -278,6 +291,7 @@ func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (r
 	out.Stats.ShardSkew = 0
 	out.Stats.ShardRebalances = 0
 	out.Stats.ShardBufferedMax = 0
+	out.Stats.Batches = 0
 	return &out, nil
 }
 
@@ -285,9 +299,12 @@ func (e *Engine) QueryStmtCtx(ctx context.Context, stmt *sqlparse.SelectStmt) (r
 // canonical statement text plus every planner option that changes the
 // physical plan. Parallelism is part of the key because parallel partial
 // aggregation re-associates float sums — results are only guaranteed
-// byte-identical at one worker count.
+// byte-identical at one worker count. The batch size travels resolved
+// (0 and DefaultBatchSize are the same plan) because a prepared tree
+// carries its batch size baked in by SetBatchSize.
 func resultKey(stmt *sqlparse.SelectStmt, popts plan.Options) string {
-	return fmt.Sprintf("%s|par=%d;idx=%t;sh=%d", stmt.SQL(), popts.Parallelism, popts.PreferIndexJoin, popts.Shards)
+	return fmt.Sprintf("%s|par=%d;idx=%t;sh=%d;bs=%d", stmt.SQL(), popts.Parallelism,
+		popts.PreferIndexJoin, popts.Shards, exec.ResolveBatchSize(popts.BatchSize))
 }
 
 // stmtTables lists the tables the statement references.
@@ -347,7 +364,15 @@ func (e *Engine) executeStmt(ctx context.Context, stmt *sqlparse.SelectStmt, pop
 	gov := exec.NewGovernor(ctx, e.opts.Limits)
 	exec.Attach(op, gov)
 	execStart := time.Now()
-	rows, err := exec.CollectGoverned(op, gov)
+	var rows [][]value.Value
+	var batches int64
+	var err error
+	bs := exec.ResolveBatchSize(popts.BatchSize)
+	if bs > 0 {
+		rows, batches, err = exec.CollectBatchesGoverned(op, gov, bs)
+	} else {
+		rows, err = exec.CollectGoverned(op, gov)
+	}
 	if prep != nil {
 		if err != nil {
 			c.DropPlan(key)
@@ -367,6 +392,8 @@ func (e *Engine) executeStmt(ctx context.Context, stmt *sqlparse.SelectStmt, pop
 			BufferedPeak: gov.BufferedPeak(),
 			Rows:         len(rows),
 			Shards:       max(popts.Shards, 1),
+			BatchSize:    bs,
+			Batches:      batches,
 		},
 	}
 	fillShardStats(&res.Stats, exec.CollectShardStats(op))
@@ -404,11 +431,13 @@ func (e *Engine) report(ctx context.Context, stmt *sqlparse.SelectStmt, popts pl
 	reg.Counter("engine.queries").Inc()
 	reg.Timer("engine.exec").Observe(elapsed)
 	rows, cached := 0, false
+	var batches int64
 	if err != nil {
 		reg.Counter("engine.errors").Inc()
 	} else if res != nil {
 		rows = res.Stats.Rows
 		cached = res.Stats.Cached
+		batches = res.Stats.Batches
 		reg.Counter("engine.rows").Add(int64(rows))
 		reg.Gauge("engine.buffered_peak").SetMax(res.Stats.BufferedPeak)
 		if res.Stats.ShardSkew > 0 {
@@ -427,6 +456,7 @@ func (e *Engine) report(ctx context.Context, stmt *sqlparse.SelectStmt, popts pl
 		Parallelism: popts.Parallelism,
 		Shards:      max(popts.Shards, 1),
 		Cached:      cached,
+		Batches:     batches,
 		Err:         qerr.LogReason(err),
 	}
 	if info, ok := metrics.QueryInfoFrom(ctx); ok {
@@ -474,7 +504,12 @@ func (e *Engine) ExplainAnalyzeCtx(ctx context.Context, sql string) (out string,
 	gov := exec.NewGovernor(ctx, e.opts.Limits)
 	exec.Attach(op, gov)
 	start := time.Now()
-	rows, err := exec.CollectGoverned(op, gov)
+	var rows [][]value.Value
+	if bs := exec.ResolveBatchSize(popts.BatchSize); bs > 0 {
+		rows, _, err = exec.CollectBatchesGoverned(op, gov, bs)
+	} else {
+		rows, err = exec.CollectGoverned(op, gov)
+	}
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,296 @@
+// Batch-at-a-time execution (DESIGN.md §15). A Batch is a reusable slab
+// of row references plus an optional selection vector; operators that
+// implement BatchOperator fill one batch per call instead of producing
+// one row per call, amortizing the virtual-dispatch, governor-poll and
+// buffered-row-reservation overheads of the Volcano loop across
+// DefaultBatchSize rows. Operators without a native batch path compose
+// through NextBatchOf's row→batch adapter, so every plan executes in
+// either mode.
+//
+// Contract: NextBatch(b) resets and refills b; an empty batch means the
+// operator is exhausted. Row slices handed out through a batch follow
+// the Operator contract — they are never mutated afterwards — but the
+// Batch itself (its rows/sel backing arrays) is owned by the caller and
+// reused across calls, so consumers that buffer rows must copy the row
+// *references* out before the next call, never retain the Batch.
+package exec
+
+import "conquer/internal/value"
+
+// DefaultBatchSize is the number of rows per execution batch. It equals
+// DefaultMorselSize so a parallel scan's batches align with its morsels
+// (a batch never spans a morsel boundary — order reconstruction in
+// Gather depends on that); the batch-size sweep in BENCH_PR10.json
+// confirms the plateau is flat from 256 up, so matching the morsel grid
+// costs nothing.
+const DefaultBatchSize = 1024
+
+// Batch is one unit of batch-at-a-time dataflow: up to Cap() row
+// references, each optionally tagged with its rowOrd provenance, plus a
+// selection vector written by filtering operators. With a selection
+// vector installed, Len/Row/Ord address only the selected rows; the
+// unselected rows stay in place untouched (selection instead of
+// copying is what makes Filter allocation-free).
+type Batch struct {
+	capacity int
+	rows     [][]value.Value
+	ords     []rowOrd
+	hasOrds  bool
+	sel      []int // selection vector; nil = all rows selected
+	selBuf   []int // retained backing array for sel, reused across Shrinks
+}
+
+// NewBatch creates a batch of the given capacity (<= 0 uses
+// DefaultBatchSize). The rows array grows on demand via append rather
+// than being preallocated: a query whose operators see a handful of
+// rows must not pay a capacity-sized pointer array per drain site, and
+// for full batches the growth cost is one-time — Reset retains the
+// backing array across refills.
+func NewBatch(capacity int) *Batch {
+	if capacity <= 0 {
+		capacity = DefaultBatchSize
+	}
+	return &Batch{capacity: capacity}
+}
+
+// Cap returns the batch's row capacity.
+func (b *Batch) Cap() int { return b.capacity }
+
+// Reset empties the batch and drops any selection vector (the sel
+// backing array is retained for the next Shrink).
+func (b *Batch) Reset() {
+	b.rows = b.rows[:0]
+	b.ords = b.ords[:0]
+	b.hasOrds = false
+	b.sel = nil
+}
+
+// Len returns the number of selected rows.
+func (b *Batch) Len() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return len(b.rows)
+}
+
+// Full reports whether the producer has filled the batch to capacity.
+func (b *Batch) Full() bool { return len(b.rows) >= b.capacity }
+
+// Append adds one untagged row. Producers only append into a Reset
+// batch, never through a selection vector.
+func (b *Batch) Append(row []value.Value) { b.rows = append(b.rows, row) }
+
+// AppendOrd adds one row tagged with its provenance ordinal. Partial
+// pipelines tag every row so order-preserving consumers (Gather, the
+// parallel join build and aggregation) can restore serial order without
+// per-row leaf callbacks.
+func (b *Batch) AppendOrd(row []value.Value, ord rowOrd) {
+	b.rows = append(b.rows, row)
+	b.ords = append(b.ords, ord)
+	b.hasOrds = true
+}
+
+// rowIdx maps a selected position to its physical slot.
+func (b *Batch) rowIdx(i int) int {
+	if b.sel != nil {
+		return b.sel[i]
+	}
+	return i
+}
+
+// Row returns the i-th selected row.
+func (b *Batch) Row(i int) []value.Value { return b.rows[b.rowIdx(i)] }
+
+// Ord returns the i-th selected row's provenance ordinal (zero when the
+// producer did not tag rows).
+func (b *Batch) Ord(i int) rowOrd {
+	if !b.hasOrds {
+		return rowOrd{}
+	}
+	return b.ords[b.rowIdx(i)]
+}
+
+// Shrink narrows the selection to the rows keep accepts, writing a new
+// selection vector instead of moving any row. Repeated Shrinks compose:
+// the new vector is compacted in place over the retained backing array
+// (the write index never passes the read index, so aliasing the old
+// vector is safe).
+func (b *Batch) Shrink(keep func(row []value.Value) (bool, error)) error {
+	n := b.Len()
+	if b.selBuf == nil {
+		// sel must come out non-nil even when nothing survives: a nil
+		// vector means "all rows selected". Sized to the rows actually
+		// present, not the capacity — Reset retains it for reuse.
+		b.selBuf = make([]int, 0, n)
+	}
+	out := b.selBuf[:0]
+	for i := 0; i < n; i++ {
+		idx := b.rowIdx(i)
+		ok, err := keep(b.rows[idx])
+		if err != nil {
+			return err
+		}
+		if ok {
+			out = append(out, idx)
+		}
+	}
+	b.sel, b.selBuf = out, out
+	return nil
+}
+
+// Truncate keeps only the first n selected rows.
+func (b *Batch) Truncate(n int) {
+	if n >= b.Len() {
+		return
+	}
+	if b.sel != nil {
+		b.sel = b.sel[:n]
+		return
+	}
+	b.rows = b.rows[:n]
+	if b.hasOrds {
+		b.ords = b.ords[:n]
+	}
+}
+
+// BatchOperator is the batch-at-a-time face of an Operator: NextBatch
+// refills b with the next run of rows; an empty batch reports
+// exhaustion. Operators implement it alongside Next — drivers pick one
+// mode per query and never mix pulls on the same operator.
+type BatchOperator interface {
+	Operator
+	NextBatch(b *Batch) error
+}
+
+// NextBatchOf pulls the next batch from op: natively when op implements
+// BatchOperator, otherwise through a row→batch adapter that fills b one
+// Next at a time (the child polls its own governor per row, so adapted
+// operators keep their cancellation latency).
+func NextBatchOf(op Operator, b *Batch) error {
+	if bo, ok := op.(BatchOperator); ok {
+		return bo.NextBatch(b)
+	}
+	b.Reset()
+	for !b.Full() {
+		row, err := op.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			return nil
+		}
+		b.Append(row)
+	}
+	return nil
+}
+
+// batchSized is implemented by operators whose internal drains and
+// scratch batches honor a configured batch size.
+type batchSized interface {
+	setBatchSize(int)
+}
+
+// batchHolder carries an operator's batch-execution setting: a positive
+// value switches the operator's internal drains (materializing Opens,
+// the join build, Gather's worker loops) to batch-at-a-time with that
+// many rows per batch; zero or negative keeps the row-at-a-time loops.
+// The zero value is row mode so operators constructed directly in tests
+// behave exactly as before — the planner installs the resolved size via
+// SetBatchSize, and the engine defaults it to DefaultBatchSize.
+type batchHolder struct {
+	batch int
+}
+
+func (h *batchHolder) setBatchSize(n int) { h.batch = n }
+
+// rowMode reports that internal drains should use the row-at-a-time
+// loops.
+func (h *batchHolder) rowMode() bool { return h.batch <= 0 }
+
+// batchCap resolves the effective rows-per-batch for internal drains.
+func (h *batchHolder) batchCap() int {
+	if h.batch > 0 {
+		return h.batch
+	}
+	return DefaultBatchSize
+}
+
+// SetBatchSize installs the batch-execution setting on every operator of
+// the tree (> 0 = batch mode at n rows per batch, <= 0 = row mode). The
+// planner calls it after assembling the tree with the engine-resolved
+// size; splitPipeline propagates the setting into worker clones.
+func SetBatchSize(op Operator, n int) {
+	if bs, ok := op.(batchSized); ok {
+		bs.setBatchSize(n)
+	}
+	for _, c := range children(op) {
+		SetBatchSize(c, n)
+	}
+}
+
+// drainBatches is drainBuffered's batch-mode twin: it materializes op's
+// rows batch-at-a-time, polling g and reserving buffered budget once per
+// batch instead of once per row. Like drainBuffered, a failed
+// reservation still counts into the returned total so the caller's Close
+// releases exactly what was charged.
+func drainBatches(op Operator, g *Governor, s *OpStats, size int) (rows [][]value.Value, reserved int64, err error) {
+	if err := op.Open(); err != nil {
+		return nil, 0, err
+	}
+	defer op.Close()
+	b := NewBatch(size)
+	for {
+		if err := g.PollBatch(); err != nil {
+			return nil, reserved, err
+		}
+		if err := NextBatchOf(op, b); err != nil {
+			return nil, reserved, err
+		}
+		n := int64(b.Len())
+		if n == 0 {
+			return rows, reserved, nil
+		}
+		s.addIn(n)
+		s.addBuffered(n)
+		reserved += n
+		if err := g.ReserveBuffered(n); err != nil {
+			return nil, reserved, err
+		}
+		for i := 0; i < int(n); i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+}
+
+// CollectBatchesGoverned drains op batch-at-a-time while polling g once
+// per batch and charging the output budget per batch; it returns the
+// rows and how many batches the root produced. It is CollectGoverned's
+// batch-mode twin — the engine picks one per Options.BatchSize.
+func CollectBatchesGoverned(op Operator, g *Governor, size int) ([][]value.Value, int64, error) {
+	if err := op.Open(); err != nil {
+		return nil, 0, err
+	}
+	defer op.Close()
+	b := NewBatch(size)
+	var rows [][]value.Value
+	var batches int64
+	for {
+		if err := g.PollBatch(); err != nil {
+			return nil, batches, err
+		}
+		if err := NextBatchOf(op, b); err != nil {
+			return nil, batches, err
+		}
+		n := b.Len()
+		if n == 0 {
+			return rows, batches, nil
+		}
+		batches++
+		if err := g.CountOutputN(int64(n)); err != nil {
+			return nil, batches, err
+		}
+		for i := 0; i < n; i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+}

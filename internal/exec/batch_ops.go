@@ -1,0 +1,509 @@
+// Native NextBatch implementations (DESIGN.md §15). Each method refills
+// the caller's Batch with one run of rows, polling the governor once per
+// batch instead of once per row. Two invariants hold throughout:
+//
+//   - A batch never spans a morsel: MorselScan returns at morsel
+//     boundaries and every pipeline operator emits a non-empty output
+//     batch before pulling the next child batch, so Gather's worker loop
+//     can attribute a whole batch to leafTracker.currentMorsel().
+//   - Output rows are carved forward-only from fresh slabs, never
+//     overwritten, honoring the Operator contract that handed-out rows
+//     are not mutated afterwards.
+//
+// Fault injection (storage.Table.ScanFault) stays per row inside the
+// fill loops: fault schedules count instrumented calls, so amortizing
+// them would shift every "fail the N-th scan" trigger point.
+package exec
+
+import (
+	"fmt"
+
+	"conquer/internal/value"
+)
+
+// ResolveBatchSize canonicalizes a configured batch size: 0 means
+// batching is on at DefaultBatchSize, negative forces row-at-a-time
+// (returned as 0, the exec-level row-mode setting), positive passes
+// through. engine.Options.BatchSize and plan.Options.BatchSize share
+// this convention.
+func ResolveBatchSize(n int) int {
+	switch {
+	case n == 0:
+		return DefaultBatchSize
+	case n < 0:
+		return 0
+	}
+	return n
+}
+
+// batchProbe is the shared probe-side state of the join batch paths: the
+// probe input batch with a cursor, a forward-only output slab, and the
+// run-length ordinal generator that tags join fanout (base carried over
+// from the probe row, sequence counting emissions per base — the same
+// numbering the row path's consumers derive from leafTracker).
+type batchProbe struct {
+	probe    *Batch
+	idx      int
+	slab     valueSlab
+	curBase  int64
+	lastBase int64
+	seq      int64
+}
+
+func (p *batchProbe) reset() {
+	p.probe, p.idx = nil, 0
+	p.slab.block = nil // learned slab size survives the reset
+	p.curBase, p.lastBase, p.seq = 0, -1, 0
+}
+
+func (p *batchProbe) carve(width, batchCap int) []value.Value {
+	return p.slab.carve(width, batchCap)
+}
+
+// valueSlab is a forward-only arena of value slices: carve returns a
+// fresh width-sized slice, reallocating the backing block when it runs
+// dry. Blocks grow geometrically from 16 rows up to one output batch:
+// operators that emit a handful of rows must not hand the GC a
+// width×batchCap pointer slab apiece (stacked selective joins spend
+// more time in the collector than in the probe loop), while sustained
+// outputs still converge to one allocation per batch. Carved slices are
+// never recycled, so handed-out rows and keys stay immutable.
+type valueSlab struct {
+	block []value.Value
+	rows  int
+}
+
+func (s *valueSlab) carve(width, batchCap int) []value.Value {
+	if len(s.block) < width {
+		if s.rows == 0 {
+			s.rows = 16
+		} else if s.rows < batchCap {
+			s.rows *= 2
+			if s.rows > batchCap {
+				s.rows = batchCap
+			}
+		}
+		n := width * s.rows
+		if n < width {
+			n = width
+		}
+		s.block = make([]value.Value, n)
+	}
+	row := s.block[:width:width]
+	s.block = s.block[width:]
+	return row
+}
+
+// nextOrd tags one emitted row with (curBase, run-length sequence).
+func (p *batchProbe) nextOrd() rowOrd {
+	if p.curBase == p.lastBase {
+		p.seq++
+	} else {
+		p.lastBase, p.seq = p.curBase, 0
+	}
+	return rowOrd{base: p.lastBase, seq: p.seq}
+}
+
+// NextBatch fills b from the table cursor. The serial scan counts one
+// batch at Open (the whole table), so refills do not bump the counter.
+// Leaf fill loops keep the ticker-amortized per-row poll: a batch is the
+// unit of *work* amortization, but cancellation latency must stay within
+// pollInterval rows, not a whole batch.
+func (s *Scan) NextBatch(b *Batch) error {
+	b.Reset()
+	for !b.Full() && s.pos < s.Table.Len() {
+		if err := s.gov.PollLeaf(); err != nil {
+			return err
+		}
+		if err := s.Table.ScanFault(); err != nil {
+			return fmt.Errorf("exec: scanning %s: %w", s.Table.Schema.Name, err)
+		}
+		b.Append(s.Table.Row(s.pos))
+		s.pos++
+	}
+	s.stats.addOut(int64(b.Len()))
+	return nil
+}
+
+// NextBatch fills b from the current morsel, claiming the next one when
+// it runs dry. A batch never crosses a morsel boundary, and every row is
+// tagged with its base-table ordinal so downstream consumers can restore
+// serial order without leaf callbacks.
+func (s *MorselScan) NextBatch(b *Batch) error {
+	b.Reset()
+	for {
+		if err := s.gov.PollBatch(); err != nil {
+			return err
+		}
+		if s.pos < s.end {
+			for !b.Full() && s.pos < s.end {
+				// Per-row ticker poll, same rationale as Scan.NextBatch.
+				if err := s.gov.PollLeaf(); err != nil {
+					return err
+				}
+				if err := s.Table.ScanFault(); err != nil {
+					return fmt.Errorf("exec: scanning %s: %w", s.Table.Schema.Name, err)
+				}
+				base := int64(s.pos)
+				if s.ords != nil {
+					base = s.ords[s.pos]
+				}
+				b.AppendOrd(s.Table.Row(s.pos), rowOrd{base: base})
+				s.pos++
+			}
+			s.stats.addOut(int64(b.Len()))
+			return nil
+		}
+		m, lo, hi, ok := s.claim()
+		if !ok {
+			return nil // empty batch: exhausted
+		}
+		s.claims++
+		s.stats.incBatch()
+		s.morsel, s.pos, s.end = m, lo, hi
+	}
+}
+
+// NextBatch evaluates the predicate over whole child batches, narrowing
+// each to a selection vector instead of copying rows; child batches that
+// filter to empty are skipped with one poll apiece.
+func (f *Filter) NextBatch(b *Batch) error {
+	for {
+		if err := f.gov.PollBatch(); err != nil {
+			return err
+		}
+		if err := NextBatchOf(f.Child, b); err != nil {
+			return err
+		}
+		n := b.Len()
+		if n == 0 {
+			return nil
+		}
+		f.stats.addIn(int64(n))
+		if err := b.Shrink(f.test); err != nil {
+			return err
+		}
+		if k := b.Len(); k > 0 {
+			f.stats.addOut(int64(k))
+			f.stats.incBatch()
+			return nil
+		}
+	}
+}
+
+// NextBatch projects one child batch into one fresh output slab.
+// Passthrough columns (plain column references) copy the child value
+// directly, skipping the evaluator; ordinal tags propagate unchanged.
+func (p *Project) NextBatch(b *Batch) error {
+	if err := p.gov.PollBatch(); err != nil {
+		return err
+	}
+	if p.scratch == nil || p.scratch.Cap() < b.Cap() {
+		p.scratch = NewBatch(b.Cap())
+	}
+	if err := NextBatchOf(p.Child, p.scratch); err != nil {
+		return err
+	}
+	b.Reset()
+	n := p.scratch.Len()
+	if n == 0 {
+		return nil
+	}
+	p.stats.addIn(int64(n))
+	width := len(p.evals)
+	slab := make([]value.Value, n*width)
+	for i := 0; i < n; i++ {
+		row := p.scratch.Row(i)
+		out := slab[i*width : (i+1)*width : (i+1)*width]
+		for c, ev := range p.evals {
+			if src := p.passthrough[c]; src >= 0 {
+				out[c] = row[src]
+				continue
+			}
+			v, err := ev(row)
+			if err != nil {
+				return err
+			}
+			out[c] = v
+		}
+		if p.scratch.hasOrds {
+			b.AppendOrd(out, p.scratch.Ord(i))
+		} else {
+			b.Append(out)
+		}
+	}
+	p.stats.addOut(int64(n))
+	p.stats.incBatch()
+	return nil
+}
+
+// prehash evaluates and hashes the probe keys of the whole pending probe
+// batch in one pass; probeKeys[i] == nil marks a NULL key (never joins).
+// The key slab stays live until the next probe batch replaces it, which
+// only happens after every bucket of the current batch is drained.
+func (j *HashJoin) prehash(n int) error {
+	if cap(j.probeHash) < n {
+		j.probeHash = make([]uint64, n)
+		j.probeKeys = make([][]value.Value, n)
+	}
+	j.probeHash = j.probeHash[:n]
+	j.probeKeys = j.probeKeys[:n]
+	nk := len(j.lk)
+	slab := make([]value.Value, n*nk)
+	for i := 0; i < n; i++ {
+		buf := slab[i*nk : (i+1)*nk : (i+1)*nk]
+		keys, null, err := evalKeysInto(j.lk, j.bp.probe.Row(i), buf)
+		if err != nil {
+			return err
+		}
+		if null {
+			j.probeKeys[i] = nil
+			continue
+		}
+		j.probeKeys[i] = keys
+		j.probeHash[i] = value.HashRow(keys)
+	}
+	return nil
+}
+
+// NextBatch probes the build table with a pre-hashed probe batch in a
+// tight loop, carving joined rows into the output slab. The output batch
+// never merges rows of two probe batches, preserving morsel alignment.
+func (j *HashJoin) NextBatch(b *Batch) error {
+	b.Reset()
+	width := len(j.schema)
+	for {
+		if err := j.gov.PollBatch(); err != nil {
+			return err
+		}
+		for j.curIdx < len(j.cur) {
+			if b.Full() {
+				j.stats.addOut(int64(b.Len()))
+				j.stats.incBatch()
+				return nil
+			}
+			e := j.cur[j.curIdx]
+			j.curIdx++
+			if !keysEqual(e.keys, j.curKeys) {
+				continue
+			}
+			out := j.bp.carve(width, b.Cap())
+			n := copy(out, j.curLeft)
+			copy(out[n:], e.row)
+			b.AppendOrd(out, j.bp.nextOrd())
+		}
+		if j.bp.probe == nil || j.bp.idx >= j.bp.probe.Len() {
+			if b.Len() > 0 {
+				j.stats.addOut(int64(b.Len()))
+				j.stats.incBatch()
+				return nil
+			}
+			if j.bp.probe == nil {
+				j.bp.probe = NewBatch(b.Cap())
+			}
+			if err := NextBatchOf(j.Left, j.bp.probe); err != nil {
+				return err
+			}
+			pn := j.bp.probe.Len()
+			if pn == 0 {
+				return nil
+			}
+			j.stats.addIn(int64(pn))
+			j.bp.idx = 0
+			if err := j.prehash(pn); err != nil {
+				return err
+			}
+		}
+		i := j.bp.idx
+		j.bp.idx++
+		keys := j.probeKeys[i]
+		if keys == nil {
+			continue // NULL join keys never join
+		}
+		j.cur, j.curKeys, j.curLeft, j.curIdx = j.build.lookup(j.probeHash[i]), keys, j.bp.probe.Row(i), 0
+		j.bp.curBase = j.bp.probe.Ord(i).base
+	}
+}
+
+// NextBatch probes the stored index with successive rows of the probe
+// batch, carving joined rows into the output slab.
+func (j *IndexJoin) NextBatch(b *Batch) error {
+	b.Reset()
+	width := len(j.schema)
+	for {
+		if err := j.gov.PollBatch(); err != nil {
+			return err
+		}
+		for j.curIdx < len(j.cur) {
+			if b.Full() {
+				j.stats.addOut(int64(b.Len()))
+				j.stats.incBatch()
+				return nil
+			}
+			inner := j.InnerTable.Row(j.cur[j.curIdx])
+			j.curIdx++
+			out := j.bp.carve(width, b.Cap())
+			n := copy(out, j.curOut)
+			copy(out[n:], inner)
+			b.AppendOrd(out, j.bp.nextOrd())
+		}
+		if j.bp.probe == nil || j.bp.idx >= j.bp.probe.Len() {
+			if b.Len() > 0 {
+				j.stats.addOut(int64(b.Len()))
+				j.stats.incBatch()
+				return nil
+			}
+			if j.bp.probe == nil {
+				j.bp.probe = NewBatch(b.Cap())
+			}
+			if err := NextBatchOf(j.Outer, j.bp.probe); err != nil {
+				return err
+			}
+			pn := j.bp.probe.Len()
+			if pn == 0 {
+				return nil
+			}
+			j.stats.addIn(int64(pn))
+			j.bp.idx = 0
+		}
+		i := j.bp.idx
+		j.bp.idx++
+		outer := j.bp.probe.Row(i)
+		k, err := j.ok(outer)
+		if err != nil {
+			return err
+		}
+		j.cur, j.curOut, j.curIdx = j.index.Lookup(k), outer, 0
+		j.bp.curBase = j.bp.probe.Ord(i).base
+	}
+}
+
+// NextBatch deduplicates whole child batches through the selection
+// vector, reserving buffered budget once per batch for the fresh rows
+// the seen-table retains.
+func (d *Distinct) NextBatch(b *Batch) error {
+	for {
+		if err := d.gov.PollBatch(); err != nil {
+			return err
+		}
+		if err := NextBatchOf(d.Child, b); err != nil {
+			return err
+		}
+		n := b.Len()
+		if n == 0 {
+			return nil
+		}
+		d.stats.addIn(int64(n))
+		var fresh int64
+		err := b.Shrink(func(row []value.Value) (bool, error) {
+			h := value.HashRow(row)
+			for _, prev := range d.seen[h] {
+				if value.RowsIdentical(prev, row) {
+					return false, nil
+				}
+			}
+			d.seen[h] = append(d.seen[h], row)
+			fresh++
+			return true, nil
+		})
+		if err != nil {
+			return err
+		}
+		if fresh > 0 {
+			// One lump reservation per batch; a failed reservation still
+			// charges (drainBuffered convention).
+			d.stats.addBuffered(fresh)
+			d.reserved += fresh
+			if err := d.gov.ReserveBuffered(fresh); err != nil {
+				return err
+			}
+		}
+		if k := b.Len(); k > 0 {
+			d.stats.addOut(int64(k))
+			d.stats.incBatch()
+			return nil
+		}
+	}
+}
+
+// NextBatch truncates the child batch to the remaining limit.
+func (l *Limit) NextBatch(b *Batch) error {
+	if l.emitted >= l.N {
+		b.Reset()
+		return nil
+	}
+	if err := NextBatchOf(l.Child, b); err != nil {
+		return err
+	}
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	l.stats.addIn(int64(n))
+	if rem := l.N - l.emitted; n > rem {
+		b.Truncate(rem)
+		n = rem
+	}
+	l.emitted += n
+	l.stats.addOut(int64(n))
+	l.stats.incBatch()
+	return nil
+}
+
+// emitMaterialized fills b from a materialized row slice, advancing
+// *pos; the shared emission path of Sort/TopN/HashAggregate/Gather.
+func emitMaterialized(b *Batch, rows [][]value.Value, pos *int, s *OpStats) {
+	b.Reset()
+	for !b.Full() && *pos < len(rows) {
+		b.Append(rows[*pos])
+		*pos++
+	}
+	s.addOut(int64(b.Len()))
+}
+
+// NextBatch emits the sorted rows batch-at-a-time.
+func (s *Sort) NextBatch(b *Batch) error {
+	if err := s.gov.PollBatch(); err != nil {
+		return err
+	}
+	emitMaterialized(b, s.rows, &s.pos, s.stats)
+	return nil
+}
+
+// NextBatch emits the kept rows batch-at-a-time.
+func (t *TopN) NextBatch(b *Batch) error {
+	if err := t.gov.PollBatch(); err != nil {
+		return err
+	}
+	emitMaterialized(b, t.rows, &t.pos, t.stats)
+	return nil
+}
+
+// NextBatch emits the finished group rows batch-at-a-time.
+func (a *HashAggregate) NextBatch(b *Batch) error {
+	if err := a.gov.PollBatch(); err != nil {
+		return err
+	}
+	emitMaterialized(b, a.out, &a.pos, a.stats)
+	return nil
+}
+
+// NextBatch passes batches through in serial mode and emits the
+// reassembled rows otherwise. The batches counter is owned by the worker
+// loop (one per morsel run), so emission does not bump it.
+func (g *Gather) NextBatch(b *Batch) error {
+	if err := g.gov.PollBatch(); err != nil {
+		return err
+	}
+	if g.serial {
+		if err := NextBatchOf(g.Child, b); err != nil {
+			return err
+		}
+		n := int64(b.Len())
+		g.stats.addIn(n)
+		g.stats.addOut(n)
+		return nil
+	}
+	emitMaterialized(b, g.rows, &g.pos, g.stats)
+	return nil
+}

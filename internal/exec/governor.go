@@ -124,6 +124,30 @@ func (g *Governor) Poll() error {
 	return g.tick.Poll(g.ctx)
 }
 
+// PollLeaf is the per-row cancellation check of batch-mode leaf fill
+// loops. It advances the shared ticker twice per call: a batch leaf is
+// the only per-row poller of its pipeline, while a row-mode pipeline
+// polls at least twice per row (driver loop + leaf), so a single
+// advance would double the worst-case cancellation latency in rows.
+func (g *Governor) PollLeaf() error {
+	if err := g.Poll(); err != nil {
+		return err
+	}
+	return g.Poll()
+}
+
+// PollBatch is the per-batch cancellation check: unlike Poll it checks
+// the context on every call. A batch already amortizes hundreds of rows,
+// so routing batch loops through the ticker would stretch cancellation
+// latency to pollInterval batches; one direct check per batch is both
+// cheaper than row-mode polling and tighter-latency than the ticker.
+func (g *Governor) PollBatch() error {
+	if g == nil || g.ctx == nil {
+		return nil
+	}
+	return qerr.FromContext(g.ctx)
+}
+
 // ReserveBuffered charges n rows against the buffered-row budget,
 // failing with qerr.ErrBudgetExceeded once the budget is exhausted.
 func (g *Governor) ReserveBuffered(n int64) error {
@@ -178,6 +202,20 @@ func (g *Governor) CountOutput() error {
 		return nil
 	}
 	output := g.shared.output.Add(1)
+	if g.limits.MaxOutputRows > 0 && output > g.limits.MaxOutputRows {
+		return fmt.Errorf("exec: output rows exceed budget %d: %w",
+			g.limits.MaxOutputRows, qerr.ErrBudgetExceeded)
+	}
+	return nil
+}
+
+// CountOutputN charges n result rows against the output budget in one
+// atomic add — the per-batch twin of CountOutput.
+func (g *Governor) CountOutputN(n int64) error {
+	if g == nil || g.shared == nil {
+		return nil
+	}
+	output := g.shared.output.Add(n)
 	if g.limits.MaxOutputRows > 0 && output > g.limits.MaxOutputRows {
 		return fmt.Errorf("exec: output rows exceed budget %d: %w",
 			g.limits.MaxOutputRows, qerr.ErrBudgetExceeded)

@@ -129,9 +129,15 @@ func (f *Filter) Describe() string { return "Filter(" + f.Pred.SQL() + ")" }
 type Project struct {
 	Child Operator
 
+	govHolder
 	statsHolder
 	schema RowSchema
 	evals  []Evaluator
+	// passthrough[i] is the child column position when output i is a
+	// plain column reference (-1 otherwise); the batch path copies those
+	// values directly instead of calling the evaluator.
+	passthrough []int
+	scratch     *Batch // child-side batch, reused across NextBatch calls
 }
 
 // ProjectionCol pairs an output column descriptor with its source
@@ -149,7 +155,14 @@ func NewProject(child Operator, cols []ProjectionCol) (*Project, error) {
 		if err != nil {
 			return nil, err
 		}
+		src := -1
+		if ref, ok := pc.Expr.(*sqlparse.ColumnRef); ok {
+			if idx, err := child.Schema().Resolve(ref.Qualifier, ref.Name); err == nil {
+				src = idx
+			}
+		}
 		p.evals = append(p.evals, ev)
+		p.passthrough = append(p.passthrough, src)
 		p.schema = append(p.schema, pc.Col)
 	}
 	return p, nil
@@ -204,6 +217,7 @@ type HashJoin struct {
 
 	govHolder
 	statsHolder
+	batchHolder
 	schema  RowSchema
 	lk, rk  []Evaluator
 	build   *joinBuild
@@ -213,6 +227,12 @@ type HashJoin struct {
 	curKeys []value.Value // probe keys of the pending bucket (aliases keyBuf)
 	curLeft []value.Value
 	curIdx  int
+
+	// Batch-path probe state: the pending probe batch with its
+	// pre-computed key hashes (probeKeys[i] == nil marks a NULL key).
+	bp        batchProbe
+	probeHash []uint64
+	probeKeys [][]value.Value
 }
 
 type buildEntry struct {
@@ -254,11 +274,12 @@ func (j *HashJoin) Open() error {
 		return err
 	}
 	if !j.shard {
-		j.build = newJoinBuild(j.Right, j.rk, j.Parallelism, 1, j.MorselSize, j.stats)
+		j.build = newJoinBuild(j.Right, j.rk, j.Parallelism, 1, j.MorselSize, j.batch, j.stats)
 	} else if j.build == nil {
 		return fmt.Errorf("exec: probe shard reopened after close: %w", qerr.ErrInternal)
 	}
 	j.cur, j.curKeys, j.curLeft, j.curIdx = nil, nil, nil, 0
+	j.bp.reset()
 	if j.keyBuf == nil {
 		j.keyBuf = make([]value.Value, len(j.lk))
 	}
@@ -377,6 +398,7 @@ type IndexJoin struct {
 	cur    []int
 	curOut []value.Value
 	curIdx int
+	bp     batchProbe // batch-path probe state
 }
 
 // NewIndexJoin builds the join; it fails if the inner table lacks an index
@@ -408,6 +430,7 @@ func (j *IndexJoin) Schema() RowSchema { return j.schema }
 func (j *IndexJoin) Open() error {
 	j.stats.markOpen()
 	j.cur, j.curOut, j.curIdx = nil, nil, 0
+	j.bp.reset()
 	return j.Outer.Open()
 }
 
@@ -456,6 +479,7 @@ type CrossJoin struct {
 
 	govHolder
 	statsHolder
+	batchHolder
 	schema    RowSchema
 	rightRows [][]value.Value
 	reserved  int64
@@ -476,7 +500,14 @@ func (j *CrossJoin) Open() error {
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
-	rows, reserved, err := drainBuffered(j.Right, j.gov, j.stats)
+	var rows [][]value.Value
+	var reserved int64
+	var err error
+	if j.rowMode() {
+		rows, reserved, err = drainBuffered(j.Right, j.gov, j.stats)
+	} else {
+		rows, reserved, err = drainBatches(j.Right, j.gov, j.stats, j.batchCap())
+	}
 	j.reserved = reserved
 	if err != nil {
 		return err
@@ -576,6 +607,7 @@ type HashAggregate struct {
 
 	govHolder
 	statsHolder
+	batchHolder
 	schema   RowSchema
 	groupEvs []Evaluator
 	argEvs   []Evaluator // nil for COUNT(*)
@@ -632,9 +664,13 @@ func (a *HashAggregate) Schema() RowSchema { return a.schema }
 // aggAcc is the accumulation state of one aggregation pass: the serial
 // pass uses one, each parallel worker builds its own.
 type aggAcc struct {
-	groups   map[uint64][]*aggState
-	order    []*aggState // first-appearance order
-	scratch  []value.Value
+	groups  map[uint64][]*aggState
+	order   []*aggState // first-appearance order
+	scratch []value.Value
+	arena   aggArena
+	// pending counts groups created since the last flushReserve; reserved
+	// counts groups already charged against the buffered budget.
+	pending  int64
 	reserved int64
 }
 
@@ -645,28 +681,72 @@ func (a *HashAggregate) newAcc() *aggAcc {
 	}
 }
 
-func (a *HashAggregate) newState(gv []value.Value, ord rowOrd) *aggState {
-	n := len(a.Aggs)
-	st := &aggState{
-		groupVals: append([]value.Value(nil), gv...),
-		ord:       ord,
-		count:     make([]int64, n),
-		sum:       make([]float64, n),
-		sumIsInt:  make([]bool, n),
-		min:       make([]value.Value, n),
-		max:       make([]value.Value, n),
-		seen:      make([]bool, n),
+// aggArena carves aggState structs and their fixed-width slices from
+// shared blocks: a high-cardinality GROUP BY otherwise pays eight heap
+// allocations per group, which dominates the allocation profile of the
+// aggregate-heavy Figure 8 queries. Every group consumes the same
+// amount from each block, so the blocks drain in lockstep and one
+// emptiness check covers them all. Blocks grow geometrically (16 groups
+// up to 4096) and carved storage is never recycled — emitted states
+// keep referencing their block, growth only adds blocks.
+type aggArena struct {
+	states []aggState
+	i64s   []int64
+	f64s   []float64
+	bools  []bool
+	vals   []value.Value
+	groups int // groups per block, doubles up to arenaMaxGroups
+}
+
+const arenaMaxGroups = 4096
+
+func (ar *aggArena) refill(nAgg, nGroup int) {
+	if ar.groups == 0 {
+		ar.groups = 16
+	} else if ar.groups < arenaMaxGroups {
+		ar.groups *= 2
 	}
+	g := ar.groups
+	ar.states = make([]aggState, g)
+	if nAgg > 0 {
+		ar.i64s = make([]int64, g*nAgg)
+		ar.f64s = make([]float64, g*nAgg)
+		ar.bools = make([]bool, 2*g*nAgg)
+	}
+	if n := 2*nAgg + nGroup; n > 0 {
+		ar.vals = make([]value.Value, g*n)
+	}
+}
+
+func (a *HashAggregate) newState(acc *aggAcc, gv []value.Value, ord rowOrd) *aggState {
+	n := len(a.Aggs)
+	ar := &acc.arena
+	if len(ar.states) == 0 {
+		ar.refill(n, len(gv))
+	}
+	st := &ar.states[0]
+	ar.states = ar.states[1:]
+	st.ord = ord
+	ng := len(gv)
+	st.groupVals, ar.vals = ar.vals[:ng:ng], ar.vals[ng:]
+	copy(st.groupVals, gv)
+	st.count, ar.i64s = ar.i64s[:n:n], ar.i64s[n:]
+	st.sum, ar.f64s = ar.f64s[:n:n], ar.f64s[n:]
+	st.sumIsInt, ar.bools = ar.bools[:n:n], ar.bools[n:]
+	st.seen, ar.bools = ar.bools[:n:n], ar.bools[n:]
+	st.min, ar.vals = ar.vals[:n:n], ar.vals[n:]
+	st.max, ar.vals = ar.vals[:n:n], ar.vals[n:]
 	for i := range st.sumIsInt {
 		st.sumIsInt[i] = true
 	}
 	return st
 }
 
-// accumulate folds one child row into acc, reserving budget through gov
-// (the caller's governor — a worker fork during parallel aggregation)
-// for each new group.
-func (a *HashAggregate) accumulate(acc *aggAcc, row []value.Value, gov *Governor, ord rowOrd) error {
+// accumulate folds one child row into acc. New groups are only counted
+// as pending here; the caller charges them against the buffered budget
+// with flushReserve — once per row in row mode, once per batch in batch
+// mode.
+func (a *HashAggregate) accumulate(acc *aggAcc, row []value.Value, ord rowOrd) error {
 	gv := acc.scratch
 	for i, ev := range a.groupEvs {
 		v, err := ev(row)
@@ -690,12 +770,8 @@ func (a *HashAggregate) accumulate(acc *aggAcc, row []value.Value, gov *Governor
 		st.ord = ord
 	}
 	if st == nil {
-		acc.reserved++ // a failed reservation still charges (drainBuffered convention)
-		a.stats.addBuffered(1)
-		if err := gov.ReserveBuffered(1); err != nil {
-			return err
-		}
-		st = a.newState(gv, ord)
+		acc.pending++
+		st = a.newState(acc, gv, ord)
 		acc.groups[h] = append(acc.groups[h], st)
 		acc.order = append(acc.order, st)
 	}
@@ -733,6 +809,22 @@ func (a *HashAggregate) accumulate(acc *aggAcc, row []value.Value, gov *Governor
 		st.seen[i] = true
 	}
 	return nil
+}
+
+// flushReserve charges the groups accumulate created since the last
+// flush against gov's buffered budget (gov is the caller's governor — a
+// worker fork during parallel aggregation). A failed reservation still
+// charges (drainBuffered convention): pending moves into reserved before
+// the error returns, so Close releases exactly what was reserved.
+func (a *HashAggregate) flushReserve(acc *aggAcc, gov *Governor) error {
+	n := acc.pending
+	if n == 0 {
+		return nil
+	}
+	acc.pending = 0
+	acc.reserved += n
+	a.stats.addBuffered(n)
+	return gov.ReserveBuffered(n)
 }
 
 // combine merges a worker-local partial state into dst. Counts and sums
@@ -805,29 +897,64 @@ func (a *HashAggregate) Open() error {
 	}
 	defer a.Child.Close()
 	acc := a.newAcc()
-	var ord int64
-	for {
-		if err := a.gov.Poll(); err != nil {
-			a.reserved = acc.reserved
-			return err
-		}
-		row, err := a.Child.Next()
-		if err != nil {
-			a.reserved = acc.reserved
-			return err
-		}
-		if row == nil {
-			break
-		}
-		a.stats.addIn(1)
-		if err := a.accumulate(acc, row, a.gov, rowOrd{base: ord}); err != nil {
-			a.reserved = acc.reserved
-			return err
-		}
-		ord++
-	}
+	err := a.drainSerial(acc)
 	a.reserved = acc.reserved
+	if err != nil {
+		return err
+	}
 	return a.emit(acc.order)
+}
+
+// drainSerial folds the whole child input into acc: row-at-a-time with a
+// reservation flush per row, or batch-at-a-time with one poll and one
+// flush per batch.
+func (a *HashAggregate) drainSerial(acc *aggAcc) error {
+	var ord int64
+	if a.rowMode() {
+		for {
+			if err := a.gov.Poll(); err != nil {
+				return err
+			}
+			row, err := a.Child.Next()
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return nil
+			}
+			a.stats.addIn(1)
+			if err := a.accumulate(acc, row, rowOrd{base: ord}); err != nil {
+				return err
+			}
+			if err := a.flushReserve(acc, a.gov); err != nil {
+				return err
+			}
+			ord++
+		}
+	}
+	bb := NewBatch(a.batchCap())
+	for {
+		if err := a.gov.PollBatch(); err != nil {
+			return err
+		}
+		if err := NextBatchOf(a.Child, bb); err != nil {
+			return err
+		}
+		n := bb.Len()
+		if n == 0 {
+			return nil
+		}
+		a.stats.addIn(int64(n))
+		for i := 0; i < n; i++ {
+			if err := a.accumulate(acc, bb.Row(i), rowOrd{base: ord}); err != nil {
+				return err
+			}
+			ord++
+		}
+		if err := a.flushReserve(acc, a.gov); err != nil {
+			return err
+		}
+	}
 }
 
 func finishAgg(f AggFunc, st *aggState, i int) value.Value {
@@ -914,6 +1041,7 @@ type Sort struct {
 
 	govHolder
 	statsHolder
+	batchHolder
 	evs      []Evaluator
 	rows     [][]value.Value
 	reserved int64
@@ -949,7 +1077,14 @@ func (s *Sort) Schema() RowSchema { return s.Child.Schema() }
 // Open drains and sorts the child.
 func (s *Sort) Open() error {
 	s.stats.markOpen()
-	rows, reserved, err := drainBuffered(s.Child, s.gov, s.stats)
+	var rows [][]value.Value
+	var reserved int64
+	var err error
+	if s.rowMode() {
+		rows, reserved, err = drainBuffered(s.Child, s.gov, s.stats)
+	} else {
+		rows, reserved, err = drainBatches(s.Child, s.gov, s.stats, s.batchCap())
+	}
 	s.reserved = reserved
 	if err != nil {
 		return err

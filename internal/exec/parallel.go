@@ -299,7 +299,7 @@ func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, b
 		}
 		parts := make([]Operator, len(children))
 		for i, c := range children {
-			p := &Project{Child: c, schema: op.schema, evals: op.evals}
+			p := &Project{Child: c, schema: op.schema, evals: op.evals, passthrough: op.passthrough}
 			p.stats = op.stats
 			parts[i] = p
 		}
@@ -310,7 +310,7 @@ func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, b
 		if !ok {
 			return nil, nil, false
 		}
-		build := newJoinBuild(op.Right, op.rk, op.Parallelism, len(children), morselSize, op.stats)
+		build := newJoinBuild(op.Right, op.rk, op.Parallelism, len(children), morselSize, op.batch, op.stats)
 		parts := make([]Operator, len(children))
 		for i, c := range children {
 			// Right stays nil on shards: the shared build owns the right
@@ -323,6 +323,7 @@ func splitPipeline(op Operator, n, morselSize int) ([]Operator, []leafTracker, b
 				schema: op.schema, lk: op.lk, rk: op.rk,
 				build: build, shard: true,
 			}
+			j.batch = op.batch
 			j.stats = op.stats
 			parts[i] = j
 		}
@@ -426,6 +427,7 @@ type Gather struct {
 
 	govHolder
 	statsHolder
+	batchHolder
 	serial  bool
 	sharded bool
 	rows    [][]value.Value
@@ -481,6 +483,40 @@ func (g *Gather) openParallel(parts []Operator, leaves []leafTracker) error {
 		}
 		var out []gatherBatch
 		cur := -1
+		if !g.rowMode() {
+			// Batch mode: a pipeline batch never spans a morsel, so the
+			// whole batch belongs to the leaf's current morsel, and the
+			// pipeline's own ordinal tags replace the consumer-side
+			// run-length derivation.
+			bb := NewBatch(g.batchCap())
+			for {
+				if err := gov.PollBatch(); err != nil {
+					return err
+				}
+				if err := NextBatchOf(part, bb); err != nil {
+					return err
+				}
+				n := bb.Len()
+				if n == 0 {
+					break
+				}
+				g.stats.addIn(int64(n))
+				if m := leaf.currentMorsel(); m != cur {
+					out = append(out, gatherBatch{morsel: m})
+					cur = m
+					g.stats.incBatch()
+				}
+				b := &out[len(out)-1]
+				for i := 0; i < n; i++ {
+					if g.sharded {
+						b.ords = append(b.ords, bb.Ord(i))
+					}
+					b.rows = append(b.rows, bb.Row(i))
+				}
+			}
+			perWorker[w] = out
+			return nil
+		}
 		lastBase, seq := int64(-1), int64(0)
 		for {
 			if err := gov.Poll(); err != nil {
@@ -631,6 +667,7 @@ type joinBuild struct {
 	rk          []Evaluator
 	parallelism int
 	morselSize  int
+	batch       int      // rows per build batch (<= 0 builds row-at-a-time)
 	stats       *OpStats // owning HashJoin's stats: right rows count as its input
 
 	once     onceErr
@@ -647,8 +684,8 @@ type onceErr struct {
 	err  error
 }
 
-func newJoinBuild(right Operator, rk []Evaluator, parallelism, refs, morselSize int, stats *OpStats) *joinBuild {
-	b := &joinBuild{right: right, rk: rk, parallelism: parallelism, morselSize: morselSize, stats: stats}
+func newJoinBuild(right Operator, rk []Evaluator, parallelism, refs, morselSize, batch int, stats *OpStats) *joinBuild {
+	b := &joinBuild{right: right, rk: rk, parallelism: parallelism, morselSize: morselSize, batch: batch, stats: stats}
 	b.once.mu = make(chan struct{}, 1)
 	b.refs.Store(int32(refs))
 	return b
@@ -694,6 +731,17 @@ func (b *joinBuild) build(gov *Governor) error {
 	return b.buildSerial(gov)
 }
 
+// chargeBuild reserves n build rows against the buffered budget; a
+// failed reservation still charges (drainBuffered convention).
+func (b *joinBuild) chargeBuild(gov *Governor, n int64) error {
+	if n == 0 {
+		return nil
+	}
+	b.reserved.Add(n)
+	b.stats.addBuffered(n)
+	return gov.ReserveBuffered(n)
+}
+
 // buildSerial is the classic single-threaded build into one partition.
 func (b *joinBuild) buildSerial(gov *Governor) error {
 	if err := b.right.Open(); err != nil {
@@ -702,6 +750,9 @@ func (b *joinBuild) buildSerial(gov *Governor) error {
 	defer b.right.Close()
 	table := make(map[uint64][]buildEntry)
 	b.parts, b.mask = []map[uint64][]buildEntry{table}, 0
+	if b.batch > 0 {
+		return b.fillSerialBatch(gov, table)
+	}
 	for {
 		if err := gov.Poll(); err != nil {
 			return err
@@ -731,6 +782,46 @@ func (b *joinBuild) buildSerial(gov *Governor) error {
 	}
 }
 
+// fillSerialBatch drains the right input batch-at-a-time with one poll
+// and one lump reservation per batch. Rows inserted before a mid-batch
+// evaluation error were never reserved, so the refcounted release stays
+// balanced without a compensating charge.
+func (b *joinBuild) fillSerialBatch(gov *Governor, table map[uint64][]buildEntry) error {
+	bb := NewBatch(b.batch)
+	var keySlab valueSlab // retained buildEntry keys carve per-slab, not per-row
+	nk := len(b.rk)
+	for {
+		if err := gov.PollBatch(); err != nil {
+			return err
+		}
+		if err := NextBatchOf(b.right, bb); err != nil {
+			return err
+		}
+		n := bb.Len()
+		if n == 0 {
+			return nil
+		}
+		b.stats.addIn(int64(n))
+		var add int64
+		for i := 0; i < n; i++ {
+			row := bb.Row(i)
+			keys, null, err := evalKeysInto(b.rk, row, keySlab.carve(nk, b.batch))
+			if err != nil {
+				return err
+			}
+			if null {
+				continue // NULL keys never join
+			}
+			add++
+			h := value.HashRow(keys)
+			table[h] = append(table[h], buildEntry{keys: keys, row: row})
+		}
+		if err := b.chargeBuild(gov, add); err != nil {
+			return err
+		}
+	}
+}
+
 // buildParallel drains the split right input with worker goroutines.
 // Each worker routes its entries into per-worker per-partition vectors
 // (no shared state), then one worker per partition merges the vectors —
@@ -751,8 +842,53 @@ func (b *joinBuild) buildParallel(gov *Governor, parts []Operator, leaves []leaf
 			return err
 		}
 		local := make([][]taggedEntry, p)
-		lastBase, seq := int64(-1), int64(0)
 		var workerReserved int64
+		if b.batch > 0 {
+			// Batch mode: the pipeline's ordinal tags replace the
+			// consumer-side run-length derivation, and reservations
+			// charge once per batch.
+			bb := NewBatch(b.batch)
+			var keySlab valueSlab // retained keys carve per-slab, not per-row
+			nk := len(b.rk)
+			for {
+				if err := g.PollBatch(); err != nil {
+					return err
+				}
+				if err := NextBatchOf(part, bb); err != nil {
+					return err
+				}
+				n := bb.Len()
+				if n == 0 {
+					break
+				}
+				b.stats.addIn(int64(n))
+				var add int64
+				for k := 0; k < n; k++ {
+					row := bb.Row(k)
+					keys, null, err := evalKeysInto(b.rk, row, keySlab.carve(nk, b.batch))
+					if err != nil {
+						return err
+					}
+					if null {
+						continue // NULL keys never join
+					}
+					add++
+					h := value.HashRow(keys)
+					pi := h & mask
+					local[pi] = append(local[pi], taggedEntry{ord: bb.Ord(k), e: buildEntry{keys: keys, row: row}})
+				}
+				workerReserved += add
+				if err := b.chargeBuild(g, add); err != nil {
+					return err
+				}
+			}
+			if grp, home := leaf.shardInfo(); grp != nil {
+				grp.buffered[home].Add(workerReserved)
+			}
+			locals[i] = local
+			return nil
+		}
+		lastBase, seq := int64(-1), int64(0)
 		for {
 			if err := g.Poll(); err != nil {
 				return err
@@ -846,6 +982,38 @@ func (a *HashAggregate) openParallel(parts []Operator, leaves []leafTracker) err
 		}
 		acc := a.newAcc()
 		accs[w] = acc // pre-published so error paths can release acc.reserved
+		if !a.rowMode() {
+			// Batch mode: the pipeline's ordinal tags replace the
+			// consumer-side run-length derivation, and reservations
+			// flush once per batch.
+			bb := NewBatch(a.batchCap())
+			for {
+				if err := gov.PollBatch(); err != nil {
+					return err
+				}
+				if err := NextBatchOf(part, bb); err != nil {
+					return err
+				}
+				n := bb.Len()
+				if n == 0 {
+					// Shard attribution happens only on clean completion;
+					// a failed query's per-shard stats are never reported.
+					if grp, home := leaf.shardInfo(); grp != nil {
+						grp.buffered[home].Add(acc.reserved)
+					}
+					return nil
+				}
+				a.stats.addIn(int64(n))
+				for i := 0; i < n; i++ {
+					if err := a.accumulate(acc, bb.Row(i), bb.Ord(i)); err != nil {
+						return err
+					}
+				}
+				if err := a.flushReserve(acc, gov); err != nil {
+					return err
+				}
+			}
+		}
 		lastBase, seq := int64(-1), int64(0)
 		for {
 			if err := gov.Poll(); err != nil {
@@ -869,7 +1037,10 @@ func (a *HashAggregate) openParallel(parts []Operator, leaves []leafTracker) err
 			} else {
 				lastBase, seq = base, 0
 			}
-			if err := a.accumulate(acc, row, gov, rowOrd{base: lastBase, seq: seq}); err != nil {
+			if err := a.accumulate(acc, row, rowOrd{base: lastBase, seq: seq}); err != nil {
+				return err
+			}
+			if err := a.flushReserve(acc, gov); err != nil {
 				return err
 			}
 		}

@@ -46,6 +46,15 @@ func (s *OpStats) incOut() {
 	s.out.Add(1)
 }
 
+// addOut counts n emitted rows in one atomic add (the batch paths call
+// it once per output batch).
+func (s *OpStats) addOut(n int64) {
+	if s == nil || n == 0 {
+		return
+	}
+	s.out.Add(n)
+}
+
 // incBatch counts one batch: a claimed morsel for scans, one reassembled
 // worker run for Gather.
 func (s *OpStats) incBatch() {
@@ -183,9 +192,18 @@ func explainAnalyze(b *strings.Builder, op Operator, depth int) {
 			fmt.Fprintf(b, " (in=%d out=%d", s.RowsIn(), s.RowsOut())
 			if n := s.Batches(); n > 0 {
 				fmt.Fprintf(b, " batches=%d", n)
+				if out := s.RowsOut(); out > 0 {
+					fmt.Fprintf(b, " rows/batch=%d", out/n)
+				}
 			}
 			if n := s.Buffered(); n > 0 {
 				fmt.Fprintf(b, " buffered=%d", n)
+			}
+			switch op.(type) {
+			case *Filter, *Distinct:
+				if in := s.RowsIn(); in > 0 {
+					fmt.Fprintf(b, " sel=%.2f", float64(s.RowsOut())/float64(in))
+				}
 			}
 			fmt.Fprintf(b, " time=%s)", s.Elapsed().Round(time.Microsecond))
 		}

@@ -21,6 +21,7 @@ type TopN struct {
 
 	govHolder
 	statsHolder
+	batchHolder
 	evs      []Evaluator
 	rows     [][]value.Value
 	reserved int64
@@ -112,40 +113,42 @@ func (t *TopN) Open() error {
 	defer t.Child.Close()
 	h := &topHeap{keys: t.Keys}
 	seq := 0
-	for {
-		if err := t.gov.Poll(); err != nil {
-			return err
-		}
-		row, err := t.Child.Next()
-		if err != nil {
-			return err
-		}
-		if row == nil {
-			break
-		}
-		t.stats.addIn(1)
-		kv := make([]value.Value, len(t.evs))
-		for k, ev := range t.evs {
-			v, err := ev(row)
+	if t.rowMode() {
+		for {
+			if err := t.gov.Poll(); err != nil {
+				return err
+			}
+			row, err := t.Child.Next()
 			if err != nil {
 				return err
 			}
-			kv[k] = v
-		}
-		it := keyed{row: row, keys: kv, seq: seq}
-		seq++
-		if h.Len() < t.N {
-			t.stats.addBuffered(1)
-			if err := t.gov.ReserveBuffered(1); err != nil {
+			if row == nil {
+				break
+			}
+			t.stats.addIn(1)
+			if err := t.offer(h, row, &seq); err != nil {
 				return err
 			}
-			t.reserved++
-			heap.Push(h, it)
-			continue
 		}
-		if sortsBefore(t.Keys, it, h.items[0]) {
-			h.items[0] = it
-			heap.Fix(h, 0)
+	} else {
+		bb := NewBatch(t.batchCap())
+		for {
+			if err := t.gov.PollBatch(); err != nil {
+				return err
+			}
+			if err := NextBatchOf(t.Child, bb); err != nil {
+				return err
+			}
+			n := bb.Len()
+			if n == 0 {
+				break
+			}
+			t.stats.addIn(int64(n))
+			for i := 0; i < n; i++ {
+				if err := t.offer(h, bb.Row(i), &seq); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	items := h.items
@@ -155,6 +158,36 @@ func (t *TopN) Open() error {
 		t.rows[i] = it.row
 	}
 	t.pos = 0
+	return nil
+}
+
+// offer folds one child row into the bounded heap. Heap insertions keep
+// per-row reservations even in batch mode: they are bounded by N, not by
+// input size, so there is nothing to amortize.
+func (t *TopN) offer(h *topHeap, row []value.Value, seq *int) error {
+	kv := make([]value.Value, len(t.evs))
+	for k, ev := range t.evs {
+		v, err := ev(row)
+		if err != nil {
+			return err
+		}
+		kv[k] = v
+	}
+	it := keyed{row: row, keys: kv, seq: *seq}
+	(*seq)++
+	if h.Len() < t.N {
+		t.stats.addBuffered(1)
+		if err := t.gov.ReserveBuffered(1); err != nil {
+			return err
+		}
+		t.reserved++
+		heap.Push(h, it)
+		return nil
+	}
+	if sortsBefore(t.Keys, it, h.items[0]) {
+		h.items[0] = it
+		heap.Fix(h, 0)
+	}
 	return nil
 }
 

@@ -73,7 +73,9 @@ func AssignProbabilitiesPar(ds *Dataset, clusterIDs []string, d Distance, parall
 // clusters per atomic claim that claim traffic stops dominating small
 // clusters (many tables have thousands of 2-3 row clusters), small
 // enough that every worker still sees ~2 claims for balance, capped at
-// 64.
+// 64. It is the same amortization that exec's batch-at-a-time mode
+// applies to governor polls and reservations (DESIGN.md §15), only the
+// unit here is a cluster claim, not a row pull.
 func claimBatch(clusters, workers int) int {
 	b := clusters / (2 * workers)
 	if b > 64 {

@@ -29,7 +29,9 @@ const ewmaShift = 3
 type costModel struct {
 	// avgRows is the EWMA of per-query buffered-row peaks — the
 	// governor's BufferedPeak, the engine's own measure of a query's
-	// stateful-operator memory.
+	// stateful-operator memory. Batch execution reserves that budget in
+	// per-batch lumps but reaches identical totals and peaks (DESIGN.md
+	// §15), so the feed is mode-independent.
 	avgRows atomic.Int64
 	// avgLatUS is the EWMA of per-query wall latency in microseconds;
 	// retryAfter turns it into a backoff hint.
